@@ -1,0 +1,115 @@
+"""Ablation — static vs adaptive dissemination graphs ([2], Sec V-A).
+
+Dissemination graphs exist because disjoint paths spend redundancy
+uniformly while real problems cluster around the source or destination.
+The adaptive policy spends extra redundancy *only while the shared
+connectivity graph shows degradation near an endpoint*.
+
+Workload: a 50 pps remote-manipulation loop NYC <-> LAX for 40 s; from
+t = 10 s to t = 25 s every fiber touching LAX's city suffers a loss
+storm (a destination-side problem). Schemes: static 2 disjoint paths,
+static src+dst problem graph, adaptive, constrained flooding.
+
+Expected shape: during the storm, adaptive ~ static problem graph ~
+flooding availability, all better than plain disjoint paths; outside
+the storm adaptive spends like plain disjoint paths (cheapest); total
+cost: disjoint < adaptive < static graph < flooding.
+"""
+
+from repro.analysis.scenarios import continental_scenario
+from repro.apps.remote import RemoteManipulationSession
+from repro.core.message import (
+    LINK_SINGLE_STRIKE,
+    ROUTING_ADAPTIVE,
+    ROUTING_DISJOINT,
+    ROUTING_FLOOD,
+    ROUTING_GRAPH,
+    ServiceSpec,
+)
+from repro.net.loss import BernoulliLoss, NoLoss
+
+from bench_util import print_table, run_experiment
+
+SCHEMES = [
+    ("2 disjoint (static)",
+     ServiceSpec(routing=ROUTING_DISJOINT, k=2, link=LINK_SINGLE_STRIKE)),
+    ("problem graph (static)",
+     ServiceSpec(routing=ROUTING_GRAPH, link=LINK_SINGLE_STRIKE)),
+    ("adaptive graph",
+     ServiceSpec(routing=ROUTING_ADAPTIVE, link=LINK_SINGLE_STRIKE)),
+    ("flooding",
+     ServiceSpec(routing=ROUTING_FLOOD, link=LINK_SINGLE_STRIKE)),
+]
+
+RATE = 50.0
+STORM_LOSS = 0.35
+DST_CITY = "LAX"
+
+
+def _storm_links(internet):
+    """Every fiber incident to the destination city, in every ISP."""
+    links = []
+    for isp in internet.isps.values():
+        for u, nbrs in isp._adj.items():
+            if u != DST_CITY:
+                continue
+            for __, (link, ___) in nbrs.items():
+                links.append(link)
+    return links
+
+
+def _run_scheme(service: ServiceSpec, seed: int) -> dict:
+    scn = continental_scenario(seed=seed)
+    session = RemoteManipulationSession(
+        scn.overlay, "site-NYC", f"site-{DST_CITY}", rate_pps=RATE,
+        service=service,
+    ).start(duration=40.0)
+    sent_before = scn.internet.counters.get("datagrams-sent")
+
+    def start_storm():
+        for link in _storm_links(scn.internet):
+            link.loss = BernoulliLoss(STORM_LOSS)
+
+    def stop_storm():
+        for link in _storm_links(scn.internet):
+            link.loss = NoLoss()
+
+    scn.sim.schedule(10.0, start_storm)
+    scn.sim.schedule(25.0, stop_storm)
+    scn.run_for(42.0)
+    stats = session.stats()
+    datagrams = scn.internet.counters.get("datagrams-sent") - sent_before
+    return {
+        "on_time": stats.on_time_ratio,
+        "datagrams_per_cmd": datagrams / max(1, stats.commands_sent),
+    }
+
+
+def run_adaptive_ablation() -> dict:
+    return {name: _run_scheme(service, seed=3401) for name, service in SCHEMES}
+
+
+def bench_ablation_adaptive_dissemination(benchmark):
+    table = run_experiment(benchmark, run_adaptive_ablation)
+    print_table(
+        f"Ablation: dissemination schemes under a {STORM_LOSS:.0%} "
+        f"destination-side loss storm (15 s of a 40 s session)",
+        ["scheme", "on-time ratio", "datagrams/cmd"],
+        [(name, cell["on_time"], cell["datagrams_per_cmd"])
+         for name, cell in table.items()],
+    )
+    disjoint = table["2 disjoint (static)"]
+    static_graph = table["problem graph (static)"]
+    adaptive = table["adaptive graph"]
+    flooding = table["flooding"]
+    # Targeted redundancy beats uniform redundancy under an endpoint
+    # problem; adaptive keeps pace with the static problem graph.
+    assert static_graph["on_time"] > disjoint["on_time"]
+    assert adaptive["on_time"] > disjoint["on_time"]
+    assert adaptive["on_time"] >= static_graph["on_time"] - 0.02
+    assert flooding["on_time"] >= adaptive["on_time"] - 0.01
+    # Cost ladder: adaptive spends less than the always-on problem
+    # graph (it only fans out during the storm), and far less than
+    # flooding.
+    assert adaptive["datagrams_per_cmd"] < static_graph["datagrams_per_cmd"]
+    assert adaptive["datagrams_per_cmd"] < 0.75 * flooding["datagrams_per_cmd"]

@@ -1,0 +1,88 @@
+"""Ablation — cluster size vs forwarding capacity (Sec II-D).
+
+"Depending on the traffic load, a single computer may not be able to
+provide the necessary processing at line speed. ... additional
+processing resources can be deployed as clusters of computers ... Each
+computer in a cluster can act as a node in one or several overlays,
+serving a subset of the total traffic."
+
+Workload: 6 flows of 100 pps x ~1 kB over a site pair whose machines
+pace output at 2 Mbit/s each (the "single computer" limit), on clusters
+of size 1, 2, and 3, with flows balanced across members.
+
+Expected shape: offered load (~4.9 Mbit/s) overwhelms one machine;
+delivery climbs with cluster size and reaches ~100 % at size 3.
+"""
+
+from repro.analysis.workloads import CbrSource
+from repro.core.cluster import OverlayCluster
+from repro.core.config import OverlayConfig
+from repro.core.message import Address, LINK_IT_PRIORITY, ServiceSpec
+from repro.net.topologies import line_internet
+from repro.sim.events import Simulator
+from repro.sim.rng import RngRegistry
+
+from bench_util import print_table, run_experiment
+
+SIZES = [1, 2, 3]
+FLOWS = 6
+RATE = 100.0
+MACHINE_BPS = 2_000_000.0
+DURATION = 5.0
+
+
+def _run_size(size: int, seed: int) -> dict:
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    internet = line_internet(sim, rngs, n_hops=1)
+    cluster = OverlayCluster(
+        internet, ["h0", "h1"], [("h0", "h1")], size=size,
+        config=OverlayConfig(access_capacity_bps=MACHINE_BPS),
+    )
+    cluster.warm_up(2.0)
+    svc = ServiceSpec(link=LINK_IT_PRIORITY)
+    per_member = {m: 0 for m in range(size)}
+    quota = -(-FLOWS // size)  # ceil
+    sources = []
+    for i in range(FLOWS):
+        cluster.client("h1", 7 + i, on_message=lambda m: None)
+        while True:
+            tx = cluster.client("h0")
+            member = cluster.member_for(tx.address, Address("h1", 7 + i))
+            if per_member[member] < quota:
+                per_member[member] += 1
+                break
+            tx.close()
+        sources.append(
+            CbrSource(sim, tx.endpoints[member], Address("h1", 7 + i),
+                      rate_pps=RATE, size=1000, service=svc).start()
+        )
+    sim.run(until=sim.now + DURATION)
+    for source in sources:
+        source.stop()
+    sim.run(until=sim.now + 2.0)
+    delivered = sum(
+        1 for member in cluster.members for r in member.trace.records
+        if any(r.flow == s.flow for s in sources)
+    )
+    offered = sum(s.sent for s in sources)
+    return {"delivery": delivered / offered}
+
+
+def run_cluster_ablation() -> dict:
+    return {size: _run_size(size, seed=3501) for size in SIZES}
+
+
+def bench_ablation_cluster_capacity(benchmark):
+    table = run_experiment(benchmark, run_cluster_ablation)
+    offered_mbps = FLOWS * RATE * (1000 + 48) * 8 / 1e6
+    print_table(
+        f"Ablation: cluster size vs {offered_mbps:.1f} Mbit/s offered load "
+        f"({MACHINE_BPS / 1e6:.0f} Mbit/s per machine)",
+        ["cluster size", "delivery ratio"],
+        [(size, cell["delivery"]) for size, cell in table.items()],
+    )
+    # One machine saturates; capacity scales with members.
+    assert table[1]["delivery"] < 0.8
+    assert table[2]["delivery"] > table[1]["delivery"]
+    assert table[3]["delivery"] > 0.95

@@ -1,0 +1,106 @@
+"""E11 — SCADA timeliness vs system size under crypto cost (Sec V-B).
+
+Power-grid SCADA allows 100-200 ms from monitoring data to an executed
+control command, *including* the intrusion-tolerant agreement that
+decides the command. Agreement needs multiple rounds of authenticated
+messages, and every message costs CPU to sign/verify — so as the number
+of replicas (and field devices whose readings must be verified) grows,
+cryptography becomes the barrier.
+
+Workload: PBFT-style 3-phase agreement among n = 4, 7, 10 replicas on
+the continental overlay, RSA-era costs (2 ms sign / 0.5 ms verify),
+sweeping the field-device verification load; measured: time
+from propose to quorum decision, plus the command's overlay delivery to
+a field RTU.
+
+Expected shape: end-to-end time grows with n and with device load, and
+crosses the 200 ms budget as the device-verification load approaches
+CPU saturation — the paper's "cryptography becomes a barrier" point.
+"""
+
+from repro.analysis.scenarios import continental_scenario
+from repro.apps.scada import ScadaDeployment
+from repro.core.message import Address
+from repro.security.crypto import Authenticator, KeyStore
+
+from bench_util import ms, print_table, run_experiment
+
+SIZES = [4, 7, 10]
+SIGN_DELAY = 0.005
+VERIFY_DELAY = 0.001
+#: Field-device readings verified per second per replica (one reading
+#: per device per 100 ms polling cycle -> 0 / 50 / 80 devices).
+DEVICE_LOADS = [0.0, 500.0, 800.0]
+BUDGET = 0.200
+
+REPLICA_CITIES = ["NYC", "CHI", "DEN", "ATL", "LAX", "SEA", "DAL", "WAS",
+                  "MIA", "STL"]
+
+
+def _run_cell(n: int, device_load: float, seed: int) -> dict:
+    scn = continental_scenario(seed=seed)
+    auth = Authenticator(KeyStore(), sign_delay=SIGN_DELAY,
+                         verify_delay=VERIFY_DELAY)
+    scada = ScadaDeployment(
+        scn.overlay, [f"site-{c}" for c in REPLICA_CITIES[:n]], auth=auth
+    )
+    for replica in scada.replicas:
+        replica.add_device_load(device_load)
+
+    # The field RTU that executes the decided command.
+    executed = []
+    scn.overlay.client("site-MIA", 9500,
+                       on_message=lambda m: executed.append(scn.sim.now))
+    scn.run_for(1.0)
+
+    start = scn.sim.now
+    pid = scada.propose("trip-breaker")
+    scn.run_for(3.0)
+    agreement = scada.quorum_decision_latency(pid)
+    assert agreement is not None, "agreement did not complete"
+    # Leader issues the decided command to the RTU; its transit time is
+    # the remaining piece of the monitoring-to-execution budget.
+    command_sent_at = scn.sim.now
+    scada.replicas[0].client.send(Address("site-MIA", 9500),
+                                  payload={"cmd": "trip"}, size=128)
+    scn.run_for(1.0)
+    command_transit = executed[-1] - command_sent_at if executed else float("inf")
+    return {
+        "agreement_ms": ms(agreement),
+        "command_ms": ms(command_transit),
+        "total_ms": ms(agreement + command_transit),
+    }
+
+
+def run_scada() -> dict:
+    table = {}
+    for n in SIZES:
+        for load in DEVICE_LOADS:
+            table[(n, load)] = _run_cell(n, load, seed=2101)
+    return table
+
+
+def bench_e11_scada_agreement_scaling(benchmark):
+    table = run_experiment(benchmark, run_scada)
+    print_table(
+        "E11: monitoring-to-execution latency of intrusion-tolerant "
+        f"SCADA control ({SIGN_DELAY * 1000:.0f} ms sign / "
+        f"{VERIFY_DELAY * 1000:.1f} ms verify)",
+        ["replicas", "device verifies/s", "agreement ms", "command ms",
+         "total ms"],
+        [(n, f"{load:.0f}", cell["agreement_ms"], cell["command_ms"],
+          cell["total_ms"]) for (n, load), cell in table.items()],
+    )
+    # Latency grows with replica count and with device load.
+    for load in DEVICE_LOADS:
+        assert table[(10, load)]["total_ms"] > table[(4, load)]["total_ms"]
+    for n in SIZES:
+        totals = [table[(n, load)]["total_ms"] for load in DEVICE_LOADS]
+        assert totals == sorted(totals), (n, totals)
+    # Small, lightly monitored systems fit the 200 ms budget...
+    assert table[(4, DEVICE_LOADS[0])]["total_ms"] < BUDGET * 1000
+    assert table[(4, DEVICE_LOADS[1])]["total_ms"] < BUDGET * 1000
+    # ...and crypto becomes the barrier as monitoring scale grows: the
+    # heavier polling load pushes every deployment size past the budget.
+    assert table[(4, DEVICE_LOADS[2])]["total_ms"] > BUDGET * 1000
+    assert table[(10, DEVICE_LOADS[2])]["total_ms"] > BUDGET * 1000

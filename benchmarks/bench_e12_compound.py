@@ -1,0 +1,99 @@
+"""E12 — compound flows with in-network transcoding (Sec V-C).
+
+A live stream is transported to a transcoding facility in the cloud
+(chosen by anycast among the facilities in the transcoding group); the
+facility transforms the stream and re-publishes it to a CDN-ingest
+multicast group. Reliability and timeliness must hold across the whole
+compound flow — including when the chosen facility fails and anycast
+re-selects another at a different location.
+
+Workload: 50 pps stream from LAX into the transcode anycast group;
+facilities at DAL and STL; CDN receivers at BOS and MIA. At t=+5 s the
+active facility crashes (detected after 100 ms).
+
+Expected shape: exactly one facility transcodes at a time; after the
+crash the other takes over within ~1 s; CDN receivers see one bounded
+interruption and identical continuity; end-to-end latency includes the
+transcode delay.
+"""
+
+from repro.analysis.scenarios import continental_scenario
+from repro.analysis.workloads import CbrSource
+from repro.apps.compound import CdnReceiver, TRANSCODE_GROUP, TranscodingFacility
+from repro.core.message import Address, LINK_RELIABLE, ServiceSpec
+
+from bench_util import ms, print_table, run_experiment
+
+RATE = 50.0
+TRANSCODE_DELAY = 0.005
+
+
+def run_compound() -> dict:
+    scn = continental_scenario(seed=2201)
+    overlay = scn.overlay
+    fac_dal = TranscodingFacility(overlay, "site-DAL", 7300,
+                                  transcode_delay=TRANSCODE_DELAY)
+    fac_stl = TranscodingFacility(overlay, "site-STL", 7301,
+                                  transcode_delay=TRANSCODE_DELAY)
+    cdn_bos = CdnReceiver(overlay, "site-BOS", 7400)
+    cdn_mia = CdnReceiver(overlay, "site-MIA", 7401)
+    scn.run_for(0.5)
+    tx = overlay.client("site-LAX", 7500)
+    stream = CbrSource(
+        scn.sim, tx, Address(TRANSCODE_GROUP, 7300), rate_pps=RATE, size=1200,
+        service=ServiceSpec(link=LINK_RELIABLE),
+    ).start()
+    scn.run_for(5.0)
+    first = fac_dal if fac_dal.frames_transcoded else fac_stl
+    second = fac_stl if first is fac_dal else fac_dal
+    before_crash = (first.frames_transcoded, second.frames_transcoded)
+    first.fail(detection_delay=0.1)
+    scn.run_for(10.0)
+    stream.stop()
+    scn.run_for(1.0)
+
+    gaps_bos = cdn_bos.interruptions(expected_interval=1.0 / RATE)
+    gaps_mia = cdn_mia.interruptions(expected_interval=1.0 / RATE)
+    return {
+        "first_facility": first.site,
+        "frames_before_crash": before_crash,
+        "takeover_frames": second.frames_transcoded,
+        "bos_frames": len(cdn_bos.deliveries),
+        "mia_frames": len(cdn_mia.deliveries),
+        "bos_worst_gap_s": max((d for __, d in gaps_bos), default=0.0),
+        "mia_worst_gap_s": max((d for __, d in gaps_mia), default=0.0),
+        "min_e2e_ms": ms(min(cdn_bos.end_to_end_latencies)),
+        "sent": stream.sent,
+    }
+
+
+def bench_e12_compound_flow_failover(benchmark):
+    result = run_experiment(benchmark, run_compound)
+    print_table(
+        "E12: compound flow (LAX -> anycast transcode -> CDN multicast), "
+        "facility crash at t=+5 s",
+        ["metric", "value"],
+        [
+            ("active facility before crash", result["first_facility"]),
+            ("frames transcoded (active, standby)",
+             str(result["frames_before_crash"])),
+            ("frames transcoded by standby after takeover",
+             result["takeover_frames"]),
+            ("CDN BOS frames", result["bos_frames"]),
+            ("CDN MIA frames", result["mia_frames"]),
+            ("CDN BOS worst gap s", result["bos_worst_gap_s"]),
+            ("CDN MIA worst gap s", result["mia_worst_gap_s"]),
+            ("min end-to-end latency ms", result["min_e2e_ms"]),
+        ],
+    )
+    # Anycast delivers to exactly one facility at a time.
+    assert result["frames_before_crash"][1] == 0
+    # The standby took over after the crash.
+    assert result["takeover_frames"] > 0.8 * RATE * 9
+    # Both CDN receivers saw one bounded interruption.
+    assert 0.0 < result["bos_worst_gap_s"] < 1.5
+    assert 0.0 < result["mia_worst_gap_s"] < 1.5
+    # End-to-end latency includes the transformation.
+    assert result["min_e2e_ms"] > TRANSCODE_DELAY * 1000
+    # Overall continuity: most frames survived the compound path.
+    assert result["bos_frames"] > 0.9 * result["sent"]

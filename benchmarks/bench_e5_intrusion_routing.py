@@ -1,0 +1,155 @@
+"""E5 — redundant dissemination under compromised overlay nodes
+(Sec IV-B, [1]).
+
+Guarantees reproduced:
+
+* k node-disjoint paths deliver with up to k-1 compromised nodes
+  (each compromised node can disrupt at most one path), and can be
+  blocked by a well-placed set of k;
+* constrained flooding delivers as long as ANY path of correct nodes
+  exists, at the cost of using every overlay link;
+* single-path (link-state) routing is disrupted by one compromised
+  node on the path.
+
+Workload: 100 probes DAL -> CHI (a 3-node-connected pair) on the
+continental overlay per scheme per adversary placement; compromised
+nodes run a data-plane blackhole that stays invisible to the control
+plane.
+"""
+
+import networkx as nx
+
+from repro.analysis.scenarios import continental_scenario
+from repro.core.message import (
+    Address,
+    ROUTING_DISJOINT,
+    ROUTING_FLOOD,
+    ServiceSpec,
+)
+from repro.security.adversary import Blackhole
+
+from bench_util import print_table, run_experiment
+
+SRC, DST = "site-DAL", "site-CHI"  # 3-node-connected pair in the overlay
+PROBES = 100
+
+
+def _delivery_under(scheme: ServiceSpec | None, victims: list[str], seed: int) -> float:
+    scn = continental_scenario(seed=seed)
+    overlay = scn.overlay
+    for victim in victims:
+        overlay.compromise(victim, Blackhole())
+    got = []
+    overlay.client(DST, 7, on_message=got.append)
+    tx = overlay.client(SRC)
+    service = scheme if scheme is not None else ServiceSpec()
+    for __ in range(PROBES):
+        tx.send(Address(DST, 7), service=service)
+        scn.run_for(0.01)
+    scn.run_for(2.0)
+    return len(got) / PROBES
+
+
+def _interior_of_mask(overlay, service: ServiceSpec) -> set[str]:
+    mask = overlay.nodes[SRC].routing.source_bitmask(DST, service)
+    edges = overlay.link_index.edges_of_mask(mask)
+    return {n for e in edges for n in e} - {SRC, DST}
+
+
+def _placements(seed: int = 1501) -> dict:
+    """Choose adversary placements from the actual routing artifacts,
+    verifying each placement's premise against the overlay graph."""
+    from repro.alg.disjoint import node_disjoint_paths
+
+    scn = continental_scenario(seed=seed)
+    overlay = scn.overlay
+    on_path = overlay.overlay_path(SRC, DST)[1]  # first intermediate
+    k2 = ServiceSpec(routing=ROUTING_DISJOINT, k=2)
+    k3 = ServiceSpec(routing=ROUTING_DISJOINT, k=3)
+    adj = overlay.nodes[SRC].routing.adjacency()
+    two_paths = node_disjoint_paths(adj, SRC, DST, 2)
+    assert len(two_paths) == 2, "premise: SRC-DST is at least 2-connected"
+    # One interior victim per disjoint path blocks k=2 by construction.
+    k2_cut = sorted(path[1] for path in two_paths)
+    full = nx.Graph(
+        [overlay.link_index.pair(b) for b in range(len(overlay.link_index))]
+    )
+    pruned = full.copy()
+    pruned.remove_nodes_from(k2_cut)
+    assert nx.has_path(pruned, SRC, DST), (
+        "premise: the k=2 cut is not a cut of the full overlay"
+    )
+    assert len(node_disjoint_paths(adj, SRC, DST, 3)) == 3, (
+        "premise: a third disjoint path exists for k=3"
+    )
+    # Three scattered victims that do NOT cut the full overlay.
+    non_cut = []
+    for candidate in sorted(full.nodes):
+        if candidate in (SRC, DST):
+            continue
+        trial = non_cut + [candidate]
+        pruned = full.copy()
+        pruned.remove_nodes_from(trial)
+        if nx.has_path(pruned, SRC, DST):
+            non_cut = trial
+        if len(non_cut) == 3:
+            break
+    return {
+        "on_path": on_path,
+        "one_of_k2": sorted(_interior_of_mask(overlay, k2))[0],
+        "k2_cut": k2_cut,
+        "non_cut_three": non_cut,
+        "k3_spec": k3,
+        "k2_spec": k2,
+    }
+
+
+def run_intrusion_routing() -> dict:
+    placements = _placements()
+    k2 = placements["k2_spec"]
+    k3 = placements["k3_spec"]
+    flood = ServiceSpec(routing=ROUTING_FLOOD)
+    single = ServiceSpec()
+    rows = {
+        ("single path", "1 on path"): _delivery_under(
+            single, [placements["on_path"]], 1502
+        ),
+        ("k=2 disjoint", "1 compromised"): _delivery_under(
+            k2, [placements["one_of_k2"]], 1503
+        ),
+        ("k=2 disjoint", "cut of 2"): _delivery_under(
+            k2, placements["k2_cut"], 1504
+        ),
+        ("k=3 disjoint", "2 compromised"): _delivery_under(
+            k3, placements["k2_cut"][:2], 1505
+        ),
+        ("flooding", "3 non-cut"): _delivery_under(
+            flood, placements["non_cut_three"], 1506
+        ),
+        ("flooding", "cut of 2"): _delivery_under(
+            flood, placements["k2_cut"], 1507
+        ),
+    }
+    return {"rows": rows, "placements": placements}
+
+
+def bench_e5_redundant_dissemination_vs_compromise(benchmark):
+    result = run_experiment(benchmark, run_intrusion_routing)
+    rows = result["rows"]
+    print_table(
+        "E5: delivery ratio under compromised overlay nodes (blackhole)",
+        ["scheme", "adversary", "delivery"],
+        [(s, a, v) for (s, a), v in rows.items()],
+    )
+    # One compromised node on the path kills single-path routing.
+    assert rows[("single path", "1 on path")] == 0.0
+    # k = 2 tolerates k - 1 = 1 anywhere in the dissemination subgraph.
+    assert rows[("k=2 disjoint", "1 compromised")] == 1.0
+    # ... but a well-placed cut of 2 blocks it.
+    assert rows[("k=2 disjoint", "cut of 2")] == 0.0
+    # k = 3 tolerates those same two nodes.
+    assert rows[("k=3 disjoint", "2 compromised")] == 1.0
+    # Flooding survives any non-cut compromise set ...
+    assert rows[("flooding", "3 non-cut")] == 1.0
+    # ... including the set that defeated k = 2 (a correct path remains).
+    assert rows[("flooding", "cut of 2")] == 1.0

@@ -1,0 +1,95 @@
+"""E7 — real-time remote manipulation within 65 ms one-way (Sec V-A).
+
+Remote surgery/ultrasound needs a 130 ms round trip. With ~27 ms
+one-way propagation coast to coast, only ~20-25 ms remains for
+recovery: too tight for multi-strike protocols. The paper's approach
+combines the single-strike protocol with *dissemination graphs* that
+add targeted redundancy around the source and destination.
+
+Workload: a 50 pps command/feedback loop NYC <-> LAX under bursty loss,
+comparing: best-effort single path, single-strike single path,
+single-strike + 2 disjoint paths, single-strike + src/dst problem
+graph, and constrained flooding (the cost ceiling). Cost = datagrams
+sent per useful round trip.
+
+Expected shape: dissemination graphs reach ~flooding availability at a
+fraction of its cost; single path (even with recovery) trails; plain
+best-effort is worst.
+"""
+
+from repro.analysis.scenarios import continental_scenario
+from repro.apps.remote import RemoteManipulationSession
+from repro.core.message import (
+    LINK_BEST_EFFORT,
+    LINK_SINGLE_STRIKE,
+    ROUTING_DISJOINT,
+    ROUTING_FLOOD,
+    ROUTING_GRAPH,
+    ServiceSpec,
+)
+from repro.net.loss import GilbertElliottLoss
+
+from bench_util import print_table, run_experiment
+
+SCHEMES = [
+    ("best-effort / single path", ServiceSpec(link=LINK_BEST_EFFORT)),
+    ("single-strike / single path", ServiceSpec(link=LINK_SINGLE_STRIKE)),
+    ("single-strike / 2 disjoint",
+     ServiceSpec(routing=ROUTING_DISJOINT, link=LINK_SINGLE_STRIKE, k=2)),
+    ("single-strike / problem graph",
+     ServiceSpec(routing=ROUTING_GRAPH, link=LINK_SINGLE_STRIKE)),
+    ("single-strike / flooding",
+     ServiceSpec(routing=ROUTING_FLOOD, link=LINK_SINGLE_STRIKE)),
+]
+
+DURATION = 20.0
+RATE = 50.0
+
+
+def _run_scheme(service: ServiceSpec, seed: int) -> dict:
+    scn = continental_scenario(
+        seed=seed,
+        loss_factory=lambda: GilbertElliottLoss(
+            mean_good=0.8, mean_bad=0.05, bad_loss=0.75
+        ),
+    )
+    sent_before = scn.internet.counters.get("datagrams-sent")
+    session = RemoteManipulationSession(
+        scn.overlay, "site-NYC", "site-LAX", rate_pps=RATE, service=service
+    ).start(duration=DURATION)
+    scn.run_for(DURATION + 2.0)
+    stats = session.stats()
+    datagrams = scn.internet.counters.get("datagrams-sent") - sent_before
+    return {
+        "on_time": stats.on_time_ratio,
+        "datagrams_per_cmd": datagrams / max(1, stats.commands_sent),
+    }
+
+
+def run_remote() -> dict:
+    return {name: _run_scheme(service, seed=1701) for name, service in SCHEMES}
+
+
+def bench_e7_remote_manipulation_within_budget(benchmark):
+    table = run_experiment(benchmark, run_remote)
+    print_table(
+        "E7: round trips within 130 ms, NYC <-> LAX under bursty loss "
+        f"({RATE:.0f} pps command loop)",
+        ["scheme", "on-time ratio", "datagrams/cmd"],
+        [(name, cell["on_time"], cell["datagrams_per_cmd"])
+         for name, cell in table.items()],
+    )
+    be = table["best-effort / single path"]
+    ss = table["single-strike / single path"]
+    dj = table["single-strike / 2 disjoint"]
+    dg = table["single-strike / problem graph"]
+    fl = table["single-strike / flooding"]
+    # Recovery helps; redundancy helps more.
+    assert ss["on_time"] >= be["on_time"]
+    assert dj["on_time"] >= ss["on_time"]
+    assert dg["on_time"] >= dj["on_time"] - 0.005
+    # Dissemination graphs ~ flooding availability ...
+    assert dg["on_time"] >= fl["on_time"] - 0.01
+    assert dg["on_time"] > 0.99
+    # ... at a clear fraction of flooding's cost.
+    assert dg["datagrams_per_cmd"] < 0.7 * fl["datagrams_per_cmd"]

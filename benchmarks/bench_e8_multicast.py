@@ -1,0 +1,119 @@
+"""E8 — overlay multicast vs end-to-end unicast mesh (Sec III-A/B).
+
+Delivering one stream to many endpoints without multicast means the
+source opens one unicast connection per destination: the source's
+access link carries N copies and shared fibers carry duplicates. The
+overlay's group state + two-level hierarchy build a shortest-path tree
+instead, so each overlay link carries each packet at most once.
+
+Workload: one 100 pps stream from NYC to 8 receiver sites, (a) as
+overlay multicast, (b) as 8 unicast overlay flows; measured: total
+underlay bytes, source fan-out bytes, and max per-fiber stress.
+
+Expected shape: multicast total bandwidth ~ tree-size / sum-of-paths
+smaller; source fan-out ~N times smaller; all receivers get everything
+either way.
+"""
+
+from repro.analysis.metrics import delivered_seqs
+from repro.analysis.scenarios import continental_scenario
+from repro.analysis.workloads import CbrSource
+from repro.core.message import Address, ServiceSpec
+
+from bench_util import print_table, run_experiment
+
+RECEIVER_CITIES = ["LAX", "SEA", "MIA", "BOS", "DAL", "DEN", "STL", "WAS"]
+RATE = 100.0
+DURATION = 10.0
+SIZE = 1200
+
+
+def _fiber_stats(internet) -> tuple[float, float]:
+    links = []
+    for isp in internet.isps.values():
+        links.extend(isp.links())
+    total = sum(l.bytes_carried for l in links)
+    peak = max(l.bytes_carried for l in links)
+    return total, peak
+
+
+def _run_variant(multicast: bool, seed: int) -> dict:
+    scn = continental_scenario(seed=seed)
+    overlay = scn.overlay
+    receivers = {}
+    for city in RECEIVER_CITIES:
+        client = overlay.client(f"site-{city}", 7, on_message=lambda m: None)
+        if multicast:
+            client.join("mcast:stream")
+        receivers[city] = client
+    scn.run_for(0.5)
+    base_total, __ = _fiber_stats(scn.internet)
+    src_node = overlay.nodes["site-NYC"]
+    base_src = sum(l.bytes_sent for l in src_node.links.values())
+
+    tx = overlay.client("site-NYC")
+    sources = []
+    if multicast:
+        sources.append(
+            CbrSource(scn.sim, tx, Address("mcast:stream", 7), rate_pps=RATE,
+                      size=SIZE).start()
+        )
+    else:
+        for city in RECEIVER_CITIES:
+            sources.append(
+                CbrSource(scn.sim, tx, Address(f"site-{city}", 7),
+                          rate_pps=RATE, size=SIZE).start()
+            )
+    scn.run_for(DURATION)
+    for source in sources:
+        source.stop()
+    scn.run_for(1.0)
+
+    total, __ = _fiber_stats(scn.internet)
+    src_bytes = sum(l.bytes_sent for l in src_node.links.values()) - base_src
+    if multicast:
+        flow = sources[0].flow
+        complete = all(
+            len(delivered_seqs(scn.overlay.trace, flow, f"site-{city}:7"))
+            >= sources[0].sent - 2
+            for city in RECEIVER_CITIES
+        )
+    else:
+        complete = all(
+            len(delivered_seqs(scn.overlay.trace, source.flow, f"site-{city}:7"))
+            >= source.sent - 2
+            for city, source in zip(RECEIVER_CITIES, sources)
+        )
+    return {
+        "fiber_mb": (total - base_total) / 1e6,
+        "source_mb": src_bytes / 1e6,
+        "complete": complete,
+    }
+
+
+def run_multicast() -> dict:
+    return {
+        "multicast": _run_variant(True, seed=1801),
+        "unicast mesh": _run_variant(False, seed=1801),
+    }
+
+
+def bench_e8_multicast_vs_unicast_mesh(benchmark):
+    table = run_experiment(benchmark, run_multicast)
+    mc, uc = table["multicast"], table["unicast mesh"]
+    print_table(
+        f"E8: one {RATE:.0f} pps stream NYC -> {len(RECEIVER_CITIES)} sites, "
+        f"{DURATION:.0f} s",
+        ["variant", "underlay MB", "source-link MB", "all delivered"],
+        [
+            ("overlay multicast", mc["fiber_mb"], mc["source_mb"], mc["complete"]),
+            ("unicast mesh", uc["fiber_mb"], uc["source_mb"], uc["complete"]),
+        ],
+    )
+    assert mc["complete"] and uc["complete"]
+    # The tree carries each packet once per link: a clear saving vs the
+    # mesh (exact factor depends on how much the 8 unicast paths share).
+    assert uc["fiber_mb"] > 1.5 * mc["fiber_mb"]
+    # The source fans out one copy per *subtree* (3 here), not one per
+    # receiver (8).
+    assert uc["source_mb"] > 2.0 * mc["source_mb"]

@@ -1,0 +1,56 @@
+"""Shared machinery for the experiment benchmarks.
+
+Each ``bench_*.py`` reproduces one experiment from DESIGN.md's index.
+A benchmark (a) runs the experiment once under pytest-benchmark (the
+timing it reports is the wall-clock cost of the whole experiment), (b)
+prints the table/series the paper's claim is phrased in, and (c)
+asserts the *shape* of the result — who wins, by roughly what factor —
+as a regression check. Absolute numbers live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+def run_experiment(benchmark, fn: Callable[[], Any]):
+    """Run ``fn`` exactly once under the benchmark fixture and return its
+    result. Experiments are full simulations — repeating them for timing
+    statistics would add minutes for no insight."""
+    result_box = {}
+
+    def once():
+        result_box["result"] = fn()
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    result = result_box["result"]
+    if isinstance(result, dict):
+        benchmark.extra_info.update(
+            {k: v for k, v in result.items() if isinstance(v, (int, float, str))}
+        )
+    return result
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Print an aligned results table (visible with ``pytest -s``)."""
+    widths = [
+        max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def ms(seconds: float | None) -> float:
+    """Seconds -> milliseconds (None -> nan) for table cells."""
+    if seconds is None:
+        return float("nan")
+    return seconds * 1000.0

@@ -1,0 +1,63 @@
+"""Intrusion-tolerant SCADA for the power grid (Sec V-B).
+
+Control replicas at four overlay sites run PBFT-style agreement on
+every control command; field RTUs stream signed readings the replicas
+must verify. The 100-200 ms budget covers monitoring -> agreement ->
+command execution. The demo shows the budget holding for a small,
+lightly loaded deployment and collapsing as monitored-device
+verification load approaches CPU saturation — cryptography becoming
+the barrier to timeliness.
+
+Run:  python examples/scada_grid.py
+"""
+
+from repro.analysis.scenarios import continental_scenario
+from repro.apps.scada import ScadaDeployment
+from repro.core.message import Address
+from repro.security.crypto import Authenticator, KeyStore
+
+REPLICA_SITES = ["site-NYC", "site-CHI", "site-DEN", "site-ATL"]
+BUDGET_MS = 200.0
+
+
+def run_deployment(device_verifies_per_second: float) -> None:
+    scn = continental_scenario(seed=55)
+    auth = Authenticator(KeyStore(), sign_delay=0.005, verify_delay=0.001)
+    scada = ScadaDeployment(scn.overlay, REPLICA_SITES, auth=auth)
+    for replica in scada.replicas:
+        replica.add_device_load(device_verifies_per_second)
+
+    executed = []
+    scn.overlay.client("site-MIA", 9500,
+                       on_message=lambda m: executed.append(scn.sim.now))
+    scn.run_for(1.0)
+
+    pid = scada.propose("open-breaker-47")
+    scn.run_for(3.0)
+    agreement = scada.quorum_decision_latency(pid)
+    sent_at = scn.sim.now
+    scada.replicas[0].client.send(Address("site-MIA", 9500),
+                                  payload={"cmd": "open-breaker-47"}, size=128)
+    scn.run_for(1.0)
+    command = executed[-1] - sent_at
+    total_ms = (agreement + command) * 1000
+    verdict = "within budget" if total_ms <= BUDGET_MS else "BUDGET BREACHED"
+    print(f"  {device_verifies_per_second:5.0f} device readings/s verified: "
+          f"agreement {agreement * 1000:6.1f} ms + command "
+          f"{command * 1000:5.1f} ms = {total_ms:6.1f} ms   [{verdict}]")
+
+
+def main() -> None:
+    print(f"SCADA control cycle, {len(REPLICA_SITES)} replicas, "
+          f"f = 1 Byzantine tolerance, {BUDGET_MS:.0f} ms budget "
+          "(5 ms sign / 1 ms verify):")
+    for load in (0.0, 400.0, 800.0):
+        run_deployment(load)
+    print("\nAs the number of monitored field devices grows, signature "
+          "verification\nsaturates the replicas' CPUs and the "
+          "intrusion-tolerant control loop can no\nlonger meet the grid's "
+          "timeliness requirement — Sec V-B's open problem.")
+
+
+if __name__ == "__main__":
+    main()

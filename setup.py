@@ -1,0 +1,16 @@
+"""Legacy shim so ``pip install -e .`` works without network access
+(the environment's setuptools predates PEP 660 editable wheels)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Structured overlay networks for a new generation of Internet "
+        "services (ICDCS 2017) - full Python reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

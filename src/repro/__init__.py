@@ -1,0 +1,51 @@
+"""repro — a full Python reproduction of *Structured Overlay Networks
+for a New Generation of Internet Services* (Babay et al., ICDCS 2017).
+
+Layers (bottom up):
+
+* :mod:`repro.sim` — deterministic discrete-event kernel.
+* :mod:`repro.net` — the underlay Internet substitute: multi-ISP
+  backbones, bursty loss, slow reconvergence, multihoming.
+* :mod:`repro.core` — the structured overlay framework: resilient
+  architecture, shared global state, Link-State + Source-Based
+  (bitmask) routing, the session/client interface.
+* :mod:`repro.protocols` — the link-level protocol family of Fig 2.
+* :mod:`repro.security` — simulated authentication and adversaries.
+* :mod:`repro.apps` — the applications of Sections III-V.
+* :mod:`repro.analysis` — metrics, workloads, canonical scenarios.
+
+Quickstart::
+
+    from repro.analysis.scenarios import continental_scenario
+    from repro.core.message import Address, ServiceSpec, LINK_RELIABLE
+
+    scn = continental_scenario(seed=1)
+    rx = scn.overlay.client("site-LAX", 100, on_message=print)
+    tx = scn.overlay.client("site-NYC", 101)
+    tx.send(Address("site-LAX", 100), payload="hello",
+            service=ServiceSpec(link=LINK_RELIABLE))
+    scn.run_for(1.0)
+"""
+
+from repro.core.client import OverlayClient
+from repro.core.config import OverlayConfig
+from repro.core.message import Address, OverlayMessage, ServiceSpec
+from repro.core.network import OverlayNetwork
+from repro.net.internet import Internet
+from repro.sim.events import Simulator
+from repro.sim.rng import RngRegistry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Address",
+    "OverlayMessage",
+    "ServiceSpec",
+    "OverlayConfig",
+    "OverlayNetwork",
+    "OverlayClient",
+    "Internet",
+    "Simulator",
+    "RngRegistry",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Graph algorithms shared by the underlay and the overlay routing level.
+
+All algorithms operate on a plain adjacency mapping
+``adj: dict[node, dict[node, float]]`` (directed; build both directions
+for undirected graphs — see :func:`repro.alg.graph.undirected`).
+
+These are the production implementations used by the overlay's routing
+services; ``networkx`` is used only as an oracle in the test suite.
+"""
+
+from repro.alg.dijkstra import all_shortest_paths, shortest_path, shortest_path_tree
+from repro.alg.disjoint import node_disjoint_paths
+from repro.alg.graph import neighbors, undirected
+from repro.alg.trees import multicast_tree
+
+__all__ = [
+    "shortest_path",
+    "shortest_path_tree",
+    "all_shortest_paths",
+    "node_disjoint_paths",
+    "multicast_tree",
+    "undirected",
+    "neighbors",
+]

@@ -1,0 +1,104 @@
+"""Dijkstra shortest paths over adjacency mappings.
+
+Used by the underlay ISP routing tables and by the overlay's Link-State
+routing service (Connectivity Graph Maintenance feeds the adjacency).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable
+
+Node = Hashable
+
+_UNREACHED = float("inf")
+
+
+def dijkstra(adj: dict, src: Node) -> tuple[dict, dict]:
+    """Single-source shortest distances and predecessors.
+
+    Returns ``(dist, prev)`` where ``dist[v]`` is the shortest distance
+    from ``src`` and ``prev[v]`` the predecessor of ``v`` on that path.
+    Unreachable nodes are absent from both mappings.
+    """
+    if src not in adj:
+        return ({src: 0.0}, {})
+    dist: dict = {src: 0.0}
+    prev: dict = {}
+    done: set = set()
+    heap: list[tuple[float, int, Node]] = [(0.0, 0, src)]
+    counter = 1  # tie-break so heterogeneous node types never compare
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        for v, w in adj.get(u, {}).items():
+            if w < 0:
+                raise ValueError(f"negative edge weight {w} on ({u!r}, {v!r})")
+            nd = d + w
+            if nd < dist.get(v, _UNREACHED):
+                dist[v] = nd
+                prev[v] = u
+                heapq.heappush(heap, (nd, counter, v))
+                counter += 1
+    return dist, prev
+
+
+def extract_path(prev: dict, src: Node, dst: Node) -> list | None:
+    """Rebuild the node path ``src .. dst`` from a predecessor map."""
+    if dst == src:
+        return [src]
+    if dst not in prev:
+        return None
+    path = [dst]
+    node = dst
+    while node != src:
+        node = prev[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def shortest_path(adj: dict, src: Node, dst: Node) -> list | None:
+    """Shortest node path from ``src`` to ``dst``, or ``None``."""
+    __, prev = dijkstra(adj, src)
+    return extract_path(prev, src, dst)
+
+
+def path_cost(adj: dict, path: list) -> float:
+    """Total weight of a node path under ``adj``."""
+    return sum(adj[u][v] for u, v in zip(path, path[1:]))
+
+
+def shortest_path_tree(adj: dict, src: Node) -> dict:
+    """Map every reachable node to its shortest path from ``src``."""
+    __, prev = dijkstra(adj, src)
+    paths = {src: [src]}
+    for node in prev:
+        path = extract_path(prev, src, node)
+        if path is not None:
+            paths[node] = path
+    return paths
+
+
+def all_shortest_paths(adj: dict) -> dict:
+    """All-pairs shortest node paths: ``paths[src][dst] -> list``."""
+    return {src: shortest_path_tree(adj, src) for src in adj}
+
+
+def next_hops(adj: dict, dst: Node) -> dict:
+    """Routing table toward ``dst``: for every node, the next hop on its
+    shortest path to ``dst``. Computed by running Dijkstra from ``dst``
+    on the reversed graph (correct for asymmetric weights too).
+    """
+    reversed_adj: dict = {u: {} for u in adj}
+    for u, nbrs in adj.items():
+        for v, w in nbrs.items():
+            reversed_adj.setdefault(v, {})[u] = w
+    __, prev = dijkstra(reversed_adj, dst)
+    table: dict = {}
+    for node in prev:
+        # prev in the reversed graph is the next hop in the forward graph.
+        table[node] = prev[node]
+    return table

@@ -1,0 +1,121 @@
+"""Minimum-cost k node-disjoint paths (Sec IV-B's redundant dissemination).
+
+Using k node-disjoint paths protects against up to ``k - 1`` compromised
+overlay nodes, since each compromised node can disrupt at most one path.
+
+The implementation is the standard reduction to min-cost flow: split
+every node ``v`` into ``(v, 'in') -> (v, 'out')`` with capacity 1, give
+every edge capacity 1, and push ``k`` units of flow from source to
+destination with successive shortest paths (Bellman–Ford on the residual
+graph, which may contain negative-cost reverse arcs).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+Node = Hashable
+
+_IN = 0
+_OUT = 1
+
+
+def _build_split_graph(adj: dict, src: Node, dst: Node) -> dict:
+    """Residual graph with node splitting; ``residual[u][v] = [cap, cost]``."""
+    residual: dict = {}
+
+    def add_arc(u, v, cap, cost):
+        residual.setdefault(u, {})[v] = [cap, cost]
+        residual.setdefault(v, {}).setdefault(u, [0, -cost])
+
+    for node in adj:
+        # Source and destination may appear on many paths; interior nodes
+        # may appear on at most one.
+        cap = len(adj) if node in (src, dst) else 1
+        add_arc((node, _IN), (node, _OUT), cap, 0.0)
+    for u, nbrs in adj.items():
+        for v, w in nbrs.items():
+            if w < 0:
+                raise ValueError(f"negative edge weight {w} on ({u!r}, {v!r})")
+            add_arc((u, _OUT), (v, _IN), 1, w)
+    return residual
+
+
+def _bellman_ford(residual: dict, src, dst):
+    """Shortest path by cost over arcs with remaining capacity."""
+    dist = {src: 0.0}
+    prev: dict = {}
+    nodes = list(residual)
+    for __ in range(len(nodes)):
+        changed = False
+        for u in nodes:
+            du = dist.get(u)
+            if du is None:
+                continue
+            for v, (cap, cost) in residual[u].items():
+                if cap <= 0:
+                    continue
+                nd = du + cost
+                if nd < dist.get(v, float("inf")) - 1e-12:
+                    dist[v] = nd
+                    prev[v] = u
+                    changed = True
+        if not changed:
+            break
+    if dst not in dist:
+        return None
+    path = [dst]
+    while path[-1] != src:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return path
+
+
+def node_disjoint_paths(adj: dict, src: Node, dst: Node, k: int) -> list[list]:
+    """Up to ``k`` minimum-total-cost node-disjoint paths from ``src`` to
+    ``dst``. Returns fewer than ``k`` paths if the graph does not contain
+    ``k`` node-disjoint paths (and ``[]`` if ``dst`` is unreachable).
+
+    Paths are node paths including both endpoints; interior nodes are
+    pairwise disjoint across the returned paths.
+    """
+    if k <= 0:
+        return []
+    if src == dst:
+        raise ValueError("source and destination must differ")
+    if src not in adj or dst not in adj:
+        return []
+    residual = _build_split_graph(adj, src, dst)
+    s, t = (src, _IN), (dst, _OUT)
+    pushed = 0
+    while pushed < k:
+        aug = _bellman_ford(residual, s, t)
+        if aug is None:
+            break
+        for u, v in zip(aug, aug[1:]):
+            residual[u][v][0] -= 1
+            residual[v][u][0] += 1
+        pushed += 1
+    return _decompose_paths(residual, adj, src, dst, pushed)
+
+
+def _decompose_paths(residual: dict, adj: dict, src: Node, dst: Node, flow: int):
+    """Walk the flow decomposition back into node paths."""
+    # An edge (u,out)->(v,in) carries flow iff its reverse residual
+    # capacity is positive.
+    used: dict = {}
+    for u, nbrs in adj.items():
+        for v in nbrs:
+            back = residual[(v, _IN)].get((u, _OUT))
+            if back is not None and back[0] > 0:
+                used.setdefault(u, []).append(v)
+    paths: list[list] = []
+    for __ in range(flow):
+        path = [src]
+        node = src
+        while node != dst:
+            nxt = used[node].pop()
+            path.append(nxt)
+            node = nxt
+        paths.append(path)
+    return paths

@@ -1,0 +1,52 @@
+"""Multicast dissemination trees (Sec III's overlay multicast).
+
+The overlay computes, per (source node, group), the union of shortest
+paths from the source to every overlay node with interested clients —
+the standard shortest-path-tree multicast used by Spines. The tree is
+represented as ``children: dict[node, list[node]]`` rooted at the
+source, which the routing level turns into per-hop forwarding decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.alg.dijkstra import extract_path, dijkstra
+
+Node = Hashable
+
+
+def multicast_tree(adj: dict, source: Node, members: Iterable[Node]) -> dict:
+    """Shortest-path tree from ``source`` spanning ``members``.
+
+    Returns a ``children`` mapping containing every tree node (leaves map
+    to ``[]``). Members unreachable from ``source`` are silently omitted
+    (the connectivity graph will heal and the tree will be recomputed).
+    """
+    __, prev = dijkstra(adj, source)
+    children: dict = {source: []}
+    for member in members:
+        if member == source:
+            continue
+        path = extract_path(prev, source, member)
+        if path is None:
+            continue
+        for parent, child in zip(path, path[1:]):
+            kids = children.setdefault(parent, [])
+            if child not in kids:
+                kids.append(child)
+            children.setdefault(child, [])
+    return children
+
+
+def tree_edges(children: dict) -> set[tuple[Node, Node]]:
+    """The set of directed (parent, child) edges of a tree."""
+    return {(p, c) for p, kids in children.items() for c in kids}
+
+
+def tree_nodes(children: dict) -> set[Node]:
+    """All nodes touched by the tree."""
+    nodes = set(children)
+    for kids in children.values():
+        nodes.update(kids)
+    return nodes

@@ -1,0 +1,20 @@
+"""Metrics and experiment scaffolding shared by tests and benchmarks."""
+
+from repro.analysis.metrics import (
+    FlowStats,
+    LatencySummary,
+    availability_gaps,
+    flow_stats,
+    latency_summary,
+)
+from repro.analysis.workloads import CbrSource, PoissonSource
+
+__all__ = [
+    "LatencySummary",
+    "FlowStats",
+    "latency_summary",
+    "flow_stats",
+    "availability_gaps",
+    "CbrSource",
+    "PoissonSource",
+]

@@ -1,0 +1,131 @@
+"""Traffic sources used by the experiments.
+
+:class:`CbrSource` models the paper's main workloads — continuous video
+transport and monitoring streams are constant-bit-rate packet flows.
+:class:`PoissonSource` provides bursty background/attack traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.core.client import OverlayClient
+from repro.core.message import Address, ServiceSpec
+from repro.sim.events import Simulator
+
+
+class CbrSource:
+    """Sends ``rate_pps`` packets per second for ``duration`` seconds."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: OverlayClient,
+        dst: Address,
+        rate_pps: float,
+        size: int = 1200,
+        service: ServiceSpec | None = None,
+        duration: float | None = None,
+        payload_fn: Callable[[int], Any] | None = None,
+    ) -> None:
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.client = client
+        self.dst = dst
+        self.interval = 1.0 / rate_pps
+        self.size = size
+        self.service = service if service is not None else ServiceSpec()
+        self.duration = duration
+        self.payload_fn = payload_fn
+        self.sent = 0
+        self.rejected = 0
+        self._stop_at: float | None = None
+        self._stopped = False
+
+    def start(self, delay: float = 0.0) -> "CbrSource":
+        if self.duration is not None:
+            self._stop_at = self.sim.now + delay + self.duration
+        self.sim.schedule(delay, self._tick)
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        if self._stop_at is not None and self.sim.now >= self._stop_at:
+            return
+        payload = self.payload_fn(self.sent) if self.payload_fn else None
+        accepted = self.client.send(
+            self.dst, payload=payload, size=self.size, service=self.service
+        )
+        if accepted:
+            self.sent += 1
+        else:
+            self.rejected += 1
+        self.sim.schedule(self.interval, self._tick)
+
+    @property
+    def flow(self) -> str:
+        from repro.core.message import flow_id
+
+        return flow_id(self.client.address, self.dst, self.service)
+
+
+class PoissonSource:
+    """Exponentially spaced sends at a mean rate (background/attack)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        client: OverlayClient,
+        dst: Address,
+        rate_pps: float,
+        size: int = 1200,
+        service: ServiceSpec | None = None,
+        duration: float | None = None,
+    ) -> None:
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.rng = rng
+        self.client = client
+        self.dst = dst
+        self.rate = rate_pps
+        self.size = size
+        self.service = service if service is not None else ServiceSpec()
+        self.duration = duration
+        self.sent = 0
+        self.rejected = 0
+        self._stop_at: float | None = None
+        self._stopped = False
+
+    def start(self, delay: float = 0.0) -> "PoissonSource":
+        if self.duration is not None:
+            self._stop_at = self.sim.now + delay + self.duration
+        self.sim.schedule(delay + self.rng.expovariate(self.rate), self._tick)
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        if self._stop_at is not None and self.sim.now >= self._stop_at:
+            return
+        if self.client.send(self.dst, size=self.size, service=self.service):
+            self.sent += 1
+        else:
+            self.rejected += 1
+        self.sim.schedule(self.rng.expovariate(self.rate), self._tick)
+
+    @property
+    def flow(self) -> str:
+        from repro.core.message import flow_id
+
+        return flow_id(self.client.address, self.dst, self.service)

@@ -1,0 +1,35 @@
+"""Applications from Sections III-V, built on the public client API.
+
+* :mod:`repro.apps.video` — broadcast-quality and live video transport
+  (Sec III-A, IV-A).
+* :mod:`repro.apps.monitoring` — resilient / intrusion-tolerant cloud
+  monitoring and control (Sec III-B, IV-B).
+* :mod:`repro.apps.remote` — real-time remote manipulation (Sec V-A).
+* :mod:`repro.apps.scada` — critical-infrastructure control with
+  intrusion-tolerant agreement under crypto cost (Sec V-B).
+* :mod:`repro.apps.compound` — compound flows with in-network
+  transcoding and anycast failover (Sec V-C).
+* :mod:`repro.apps.voip` — the 1-800-OVERLAYS VoIP predecessor [6, 7]
+  with E-model call scoring.
+"""
+
+from repro.apps.compound import CdnReceiver, TranscodingFacility
+from repro.apps.monitoring import AnalysisEngine, ControlCenter, MonitoredEndpoint
+from repro.apps.remote import RemoteManipulationSession
+from repro.apps.scada import AgreementReplica, ScadaDeployment
+from repro.apps.video import VideoReceiver, VideoSource
+from repro.apps.voip import VoipCall
+
+__all__ = [
+    "VideoSource",
+    "VideoReceiver",
+    "MonitoredEndpoint",
+    "ControlCenter",
+    "AnalysisEngine",
+    "RemoteManipulationSession",
+    "AgreementReplica",
+    "ScadaDeployment",
+    "TranscodingFacility",
+    "CdnReceiver",
+    "VoipCall",
+]

@@ -1,0 +1,278 @@
+"""Resilient monitoring and control of global clouds (Sec III-B), with
+the intrusion-tolerant variant of Sec IV-B.
+
+*Monitoring*: every monitored endpoint multicasts its stream to a
+monitoring group; displays/loggers/analysis engines just join the group
+— the overlay builds the efficient tree, no endpoint-to-consumer mesh
+needed. Freshness beats completeness, so monitoring uses a timely
+service.
+
+*Control*: commands that change cloud state must arrive reliably, so
+control flows use a reliable service (IT-Reliable in the
+intrusion-tolerant configuration). Devices acknowledge at the
+application level, giving command round-trip metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.workloads import CbrSource
+from repro.core.message import (
+    Address,
+    LINK_IT_PRIORITY,
+    LINK_IT_RELIABLE,
+    LINK_REALTIME,
+    LINK_RELIABLE,
+    OverlayMessage,
+    ServiceSpec,
+)
+from repro.core.network import OverlayNetwork
+
+MONITOR_GROUP = "mcast:monitoring"
+
+
+def monitoring_service(intrusion_tolerant: bool = False) -> ServiceSpec:
+    """Timely monitoring service: latest data matters most."""
+    link = LINK_IT_PRIORITY if intrusion_tolerant else LINK_REALTIME
+    return ServiceSpec(link=link)
+
+
+def control_service(intrusion_tolerant: bool = False) -> ServiceSpec:
+    """Completely reliable control service."""
+    link = LINK_IT_RELIABLE if intrusion_tolerant else LINK_RELIABLE
+    return ServiceSpec(link=link, ordered=True)
+
+
+class MonitoredEndpoint:
+    """A cloud endpoint: publishes a monitoring stream and executes
+    control commands (acknowledging each at the application level)."""
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        site: str,
+        name: str,
+        port: int,
+        rate_pps: float = 10.0,
+        intrusion_tolerant: bool = False,
+        monitor_group: str = MONITOR_GROUP,
+        reading_fn=None,
+    ) -> None:
+        self.overlay = overlay
+        self.name = name
+        self.intrusion_tolerant = intrusion_tolerant
+        self.executed: list[tuple[float, object]] = []
+        self._seen_commands: set = set()
+        self.client = overlay.client(site, port, on_message=self._on_command)
+        if reading_fn is None:
+            reading_fn = lambda seq: 50.0  # a healthy, steady signal
+        self.reading_fn = reading_fn
+        self.monitor = CbrSource(
+            overlay.sim,
+            self.client,
+            Address(monitor_group, 1),
+            rate_pps=rate_pps,
+            size=256,
+            service=monitoring_service(intrusion_tolerant),
+            payload_fn=lambda seq: {
+                "endpoint": self.name, "reading": self.reading_fn(seq)
+            },
+        )
+
+    def start(self, delay: float = 0.0) -> "MonitoredEndpoint":
+        self.monitor.start(delay)
+        return self
+
+    def _on_command(self, msg: OverlayMessage) -> None:
+        cmd_id = msg.payload.get("cmd_id")
+        if cmd_id not in self._seen_commands:
+            # Execute once; retried duplicates are only re-acknowledged.
+            self._seen_commands.add(cmd_id)
+            self.executed.append((self.overlay.sim.now, msg.payload))
+        self.client.send(
+            msg.src,
+            payload={"ack": cmd_id},
+            size=64,
+            service=control_service(self.intrusion_tolerant),
+        )
+
+    @property
+    def monitor_flow(self) -> str:
+        return self.monitor.flow
+
+
+@dataclass
+class CommandRecord:
+    """One control command's lifecycle."""
+
+    cmd_id: int
+    issued_at: float
+    acked_at: float | None = None
+
+    @property
+    def rtt(self) -> float | None:
+        if self.acked_at is None:
+            return None
+        return self.acked_at - self.issued_at
+
+
+@dataclass
+class MonitoringStats:
+    """Observed monitoring stream state at the control center."""
+
+    received: int = 0
+    staleness_samples: list = field(default_factory=list)
+
+    @property
+    def mean_staleness(self) -> float:
+        if not self.staleness_samples:
+            return float("nan")
+        return sum(self.staleness_samples) / len(self.staleness_samples)
+
+
+class ControlCenter:
+    """Joins the monitoring group and issues control commands."""
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        site: str,
+        port: int = 8000,
+        intrusion_tolerant: bool = False,
+        monitor_group: str = MONITOR_GROUP,
+    ) -> None:
+        self.overlay = overlay
+        self.sim = overlay.sim
+        self.intrusion_tolerant = intrusion_tolerant
+        self.monitoring = MonitoringStats()
+        self.commands: dict[int, CommandRecord] = {}
+        self._next_cmd = 0
+        self.client = overlay.client(site, port, on_message=self._on_message)
+        self.client.join(monitor_group)
+
+    def _on_message(self, msg: OverlayMessage) -> None:
+        payload = msg.payload if isinstance(msg.payload, dict) else {}
+        if "ack" in payload:
+            record = self.commands.get(payload["ack"])
+            if record is not None and record.acked_at is None:
+                record.acked_at = self.sim.now
+            return
+        self.monitoring.received += 1
+        self.monitoring.staleness_samples.append(self.sim.now - msg.sent_at)
+
+    #: App-level retry: hop-by-hop ARQ repairs link loss, but a command
+    #: caught mid-reroute can die at the routing level; the control
+    #: application re-issues until acknowledged (devices de-duplicate).
+    RETRY_TIMEOUT = 0.5
+    MAX_RETRIES = 3
+
+    def send_command(self, device: Address, action: str = "set") -> CommandRecord:
+        """Issue one reliable control command to a device (or group)."""
+        cmd_id = self._next_cmd
+        self._next_cmd += 1
+        record = CommandRecord(cmd_id, self.sim.now)
+        self.commands[cmd_id] = record
+        self._transmit_command(device, cmd_id, action, retries_left=self.MAX_RETRIES)
+        return record
+
+    def _transmit_command(self, device: Address, cmd_id: int, action: str,
+                          retries_left: int) -> None:
+        record = self.commands[cmd_id]
+        if record.acked_at is not None:
+            return
+        self.client.send(
+            device,
+            payload={"cmd_id": cmd_id, "cmd": action},
+            size=128,
+            service=control_service(self.intrusion_tolerant),
+        )
+        if retries_left > 0:
+            self.sim.schedule(
+                self.RETRY_TIMEOUT,
+                self._transmit_command, device, cmd_id, action, retries_left - 1,
+            )
+
+    def command_rtts(self) -> list[float]:
+        return [r.rtt for r in self.commands.values() if r.rtt is not None]
+
+    def unacked_commands(self) -> int:
+        return sum(1 for r in self.commands.values() if r.acked_at is None)
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One flagged observation from the analysis engine."""
+
+    at: float
+    endpoint: str
+    kind: str  #: "reading" or "staleness"
+    value: float
+    zscore: float
+
+
+class AnalysisEngine:
+    """A real-time analysis engine consuming the monitoring group
+    (Sec III-B: "realtime analysis engines (e.g. that use machine
+    learning to predict problems based on patterns)").
+
+    Maintains per-endpoint running statistics (EWMA mean/variance) of
+    both the reported readings and the data's *staleness*, and flags
+    observations more than ``threshold`` standard deviations out —
+    catching both misbehaving endpoints and degrading network paths.
+    """
+
+    #: Observations per endpoint before it may be flagged (learn first).
+    WARMUP = 20
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        site: str,
+        port: int = 8100,
+        threshold: float = 4.0,
+        alpha: float = 0.05,
+        monitor_group: str = MONITOR_GROUP,
+    ) -> None:
+        self.overlay = overlay
+        self.sim = overlay.sim
+        self.threshold = threshold
+        self.alpha = alpha
+        self.anomalies: list[Anomaly] = []
+        self._stats: dict[tuple[str, str], list] = {}  # [mean, var, count]
+        self.client = overlay.client(site, port, on_message=self._on_sample)
+        self.client.join(monitor_group)
+
+    def _on_sample(self, msg) -> None:
+        payload = msg.payload if isinstance(msg.payload, dict) else {}
+        endpoint = payload.get("endpoint")
+        if endpoint is None:
+            return
+        self._observe(endpoint, "reading", float(payload.get("reading", 0.0)))
+        self._observe(endpoint, "staleness", self.sim.now - msg.sent_at)
+
+    def _observe(self, endpoint: str, kind: str, value: float) -> None:
+        key = (endpoint, kind)
+        stats = self._stats.get(key)
+        if stats is None:
+            self._stats[key] = [value, 0.0, 1]
+            return
+        mean, var, count = stats
+        std = var ** 0.5
+        if count >= self.WARMUP and std > 1e-9:
+            zscore = abs(value - mean) / std
+            if zscore > self.threshold:
+                self.anomalies.append(
+                    Anomaly(self.sim.now, endpoint, kind, value, zscore)
+                )
+        # Update the model (anomalies included, slowly: alpha is small).
+        delta = value - mean
+        stats[0] = mean + self.alpha * delta
+        stats[1] = (1 - self.alpha) * (var + self.alpha * delta * delta)
+        stats[2] = count + 1
+
+    def anomalies_for(self, endpoint: str, kind: str | None = None) -> list[Anomaly]:
+        return [
+            a for a in self.anomalies
+            if a.endpoint == endpoint and (kind is None or a.kind == kind)
+        ]

@@ -1,0 +1,154 @@
+"""Broadcast-quality video transport (Sec III-A) and its live variant
+(Sec IV-A).
+
+A video stream is a continuous CBR flow of MPEG-TS-sized packets
+multicast to every interested destination. Broadcast-quality transport
+wants smooth, complete, in-order delivery (Reliable Data Link with
+hop-by-hop recovery); *live* transport additionally imposes a hard
+playout deadline (~200 ms for natural interaction), served by the
+NM-Strikes protocol.
+
+:class:`VideoReceiver` implements the playout buffer of the final
+destination: each frame must be available, in order, by
+``sent_at + playout_delay``; frames missing at their playout instant
+are counted as glitches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.workloads import CbrSource
+from repro.core.message import (
+    Address,
+    LINK_NM_STRIKES,
+    LINK_RELIABLE,
+    OverlayMessage,
+    ServiceSpec,
+)
+from repro.core.network import OverlayNetwork
+
+#: MPEG transport stream packets bundled 7-to-a-datagram, the industry
+#: standard framing for video over IP.
+TS_PACKET_BYTES = 7 * 188
+
+
+@dataclass(frozen=True)
+class VideoQuality:
+    """Playout outcome of one receiver."""
+
+    frames_expected: int
+    frames_on_time: int
+    frames_late: int
+    frames_lost: int
+
+    @property
+    def continuity(self) -> float:
+        """Fraction of frames available by their playout instant —
+        the viewer-visible quality number."""
+        if self.frames_expected == 0:
+            return float("nan")
+        return self.frames_on_time / self.frames_expected
+
+
+class VideoSource:
+    """A video head-end: multicasts a CBR stream into the overlay."""
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        site: str,
+        group: str = "mcast:video",
+        port: int = 9000,
+        rate_mbps: float = 4.0,
+        live: bool = False,
+        deadline: float = 0.2,
+        service: ServiceSpec | None = None,
+    ) -> None:
+        self.overlay = overlay
+        self.group = group
+        self.client = overlay.client(site, port)
+        self.dst = Address(group, port)
+        if service is not None:
+            self.service = service
+        elif live:
+            # Live TV: complete timeliness, recover within the deadline.
+            self.service = ServiceSpec(
+                link=LINK_NM_STRIKES, ordered=True, deadline=deadline
+            )
+        else:
+            # Broadcast-quality: hop-by-hop ARQ for complete per-link
+            # reliability. The deadline bounds the egress buffer: frames
+            # unrecoverable by their playout instant (e.g. dropped during
+            # a multicast tree change) are skipped, not waited on forever.
+            self.service = ServiceSpec(
+                link=LINK_RELIABLE, ordered=True, deadline=deadline
+            )
+        rate_pps = rate_mbps * 1_000_000 / 8 / TS_PACKET_BYTES
+        self.source = CbrSource(
+            overlay.sim,
+            self.client,
+            self.dst,
+            rate_pps=rate_pps,
+            size=TS_PACKET_BYTES,
+            service=self.service,
+        )
+
+    def start(self, delay: float = 0.0) -> "VideoSource":
+        self.source.start(delay)
+        return self
+
+    def stop(self) -> None:
+        self.source.stop()
+
+    @property
+    def frames_sent(self) -> int:
+        return self.source.sent
+
+    @property
+    def flow(self) -> str:
+        return self.source.flow
+
+
+class VideoReceiver:
+    """A destination with a playout buffer.
+
+    Joins the stream's group; every received frame is checked against
+    its playout instant ``sent_at + playout_delay``. With ordered
+    delivery the session's reorder buffer has already enforced order
+    (discarding too-late recoveries), so this class only has to measure.
+    """
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        site: str,
+        group: str = "mcast:video",
+        port: int = 9000,
+        playout_delay: float = 0.2,
+    ) -> None:
+        self.overlay = overlay
+        self.sim = overlay.sim
+        self.playout_delay = playout_delay
+        self.on_time = 0
+        self.late = 0
+        self.latencies: list[float] = []
+        self.client = overlay.client(site, port, on_message=self._on_frame)
+        self.client.join(group)
+
+    def _on_frame(self, msg: OverlayMessage) -> None:
+        latency = self.sim.now - msg.sent_at
+        self.latencies.append(latency)
+        if latency <= self.playout_delay:
+            self.on_time += 1
+        else:
+            self.late += 1
+
+    def quality(self, frames_sent: int) -> VideoQuality:
+        received = self.on_time + self.late
+        return VideoQuality(
+            frames_expected=frames_sent,
+            frames_on_time=self.on_time,
+            frames_late=self.late,
+            frames_lost=max(0, frames_sent - received),
+        )

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: the structured overlay framework.
+
+The overlay node software architecture (Fig 2) has three levels:
+
+* **Session interface** (:mod:`repro.core.session`,
+  :mod:`repro.core.client`) — client connections, one flow per
+  connection, per-flow service selection, egress ordering/playout.
+* **Routing level** (:mod:`repro.core.routing`,
+  :mod:`repro.core.linkstate`, :mod:`repro.core.groups`) — Link-State
+  and Source-Based (bitmask) routing over shared global state:
+  the Connectivity Graph and the Group State.
+* **Link level** (:mod:`repro.core.link`, :mod:`repro.protocols`) — one
+  protocol instance per (neighbor, protocol) aggregate, transmitting
+  over the underlay via a selected carrier (multihoming).
+
+:class:`repro.core.network.OverlayNetwork` assembles overlay nodes on
+top of a :class:`repro.net.internet.Internet`.
+"""
+
+from repro.core.config import OverlayConfig
+from repro.core.message import Address, OverlayMessage, ServiceSpec
+from repro.core.network import OverlayNetwork
+
+__all__ = [
+    "Address",
+    "OverlayMessage",
+    "ServiceSpec",
+    "OverlayConfig",
+    "OverlayNetwork",
+]

@@ -1,0 +1,120 @@
+"""Clustered overlay nodes (Sec II-D).
+
+A single computer may not sustain line-rate processing for all traffic
+through a data center. The paper's answer: deploy *clusters* — each
+machine in a cluster acts as a node in one of several parallel overlays,
+serving a subset of the total traffic. :class:`OverlayCluster` builds
+``size`` parallel overlays over the same underlay and deterministically
+assigns each flow to one member, so aggregate forwarding capacity
+scales with cluster size while every flow still sees one consistent
+overlay.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Iterable, Sequence
+
+from repro.core.client import OverlayClient
+from repro.core.config import OverlayConfig
+from repro.core.message import Address, OverlayMessage, ServiceSpec
+from repro.core.network import OverlayNetwork
+from repro.net.internet import Internet
+
+
+class OverlayCluster:
+    """``size`` parallel overlays sharing sites, links, and underlay.
+
+    Sec II-B: "multiple overlays can even be run in parallel"; Sec II-D:
+    "Each computer in a cluster can act as a node in one or several
+    overlays, serving a subset of the total traffic."
+    """
+
+    def __init__(
+        self,
+        internet: Internet,
+        sites: Sequence[str],
+        links: Iterable[tuple[str, str]],
+        size: int,
+        config: OverlayConfig | None = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("cluster size must be at least 1")
+        links = list(links)
+        self.size = size
+        self.members = [
+            OverlayNetwork(internet, sites, links, config) for __ in range(size)
+        ]
+
+    def start(self) -> None:
+        for member in self.members:
+            member.start()
+
+    def warm_up(self, duration: float = 2.0) -> None:
+        for member in self.members:
+            member.start()
+        sim = self.members[0].sim
+        sim.run(until=sim.now + duration)
+
+    def member_for(self, src: Address, dst: Address) -> int:
+        """Deterministic flow-to-member assignment (both endpoints of a
+        flow compute the same member)."""
+        key = f"{src}|{dst}".encode()
+        return zlib.crc32(key) % self.size
+
+    def client(
+        self,
+        site: str,
+        port: int | None = None,
+        on_message: Callable[[OverlayMessage], None] | None = None,
+    ) -> "ClusterClient":
+        return ClusterClient(self, site, port, on_message)
+
+
+class ClusterClient:
+    """A client of the cluster: registered with every member overlay
+    (so it is reachable whichever member a sender's flow lands on),
+    sending each flow via its assigned member."""
+
+    def __init__(
+        self,
+        cluster: OverlayCluster,
+        site: str,
+        port: int | None,
+        on_message: Callable[[OverlayMessage], None] | None,
+    ) -> None:
+        self.cluster = cluster
+        if port is None:
+            port = cluster.members[0]._next_auto_port
+            for member in cluster.members:
+                member._next_auto_port = max(member._next_auto_port, port + 1)
+        self.port = port
+        self.endpoints: list[OverlayClient] = [
+            member.client(site, port, on_message) for member in cluster.members
+        ]
+
+    @property
+    def address(self) -> Address:
+        return self.endpoints[0].address
+
+    def send(
+        self,
+        dst: Address,
+        payload=None,
+        size: int = 1000,
+        service: ServiceSpec | None = None,
+    ) -> bool:
+        member = self.cluster.member_for(self.address, dst)
+        return self.endpoints[member].send(dst, payload, size, service)
+
+    def join(self, group: str) -> None:
+        for endpoint in self.endpoints:
+            endpoint.join(group)
+
+    def leave(self, group: str) -> None:
+        for endpoint in self.endpoints:
+            endpoint.leave(group)
+
+    def close(self) -> None:
+        for endpoint in self.endpoints:
+            endpoint.close()

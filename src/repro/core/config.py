@@ -1,0 +1,59 @@
+"""Overlay configuration knobs, with defaults matching the paper's
+operating points (10 ms-scale links, sub-second failure reaction,
+<1 ms per-node processing)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OverlayConfig:
+    """Tuning for an overlay instance.
+
+    Attributes:
+        hello_interval: Seconds between hello probes on each overlay
+            link direction. With ``miss_threshold`` misses a link is
+            declared down, so detection time is roughly
+            ``hello_interval * miss_threshold`` — a few hundred ms,
+            giving the paper's sub-second rerouting.
+        miss_threshold: Consecutive missed hellos before link-down.
+        recover_threshold: Consecutive received hellos before a down
+            link is declared up again (hysteresis).
+        proc_delay: Per-node forwarding processing delay (Sec II-D says
+            "less than 1 ms" on commodity machines).
+        lsu_refresh: Period for re-flooding one's link-state record even
+            without changes (repairs lost updates).
+        loss_alpha: EWMA weight for per-link loss estimation.
+        latency_alpha: EWMA weight for per-link latency estimation.
+        loss_cost_factor: Link routing cost = latency * (1 +
+            loss_cost_factor * loss_estimate); penalizes lossy links.
+        cost_change_threshold: Fractional cost change that triggers a
+            new link-state update.
+        dedup_cache: Per-node number of recently seen message keys kept
+            for de-duplication of redundant dissemination.
+        carrier_loss_switch: Hello loss estimate above which a link
+            switches to its next candidate carrier (multihoming).
+        access_capacity_bps: Rate limit applied by paced link protocols
+            (IT-Priority / IT-Reliable) on each outgoing overlay link;
+            ``None`` disables pacing.
+        crypto_sign_delay / crypto_verify_delay: Per-message CPU cost of
+            authentication in the intrusion-tolerant protocols.
+    """
+
+    hello_interval: float = 0.1
+    miss_threshold: int = 3
+    recover_threshold: int = 3
+    proc_delay: float = 0.0005
+    lsu_refresh: float = 5.0
+    loss_alpha: float = 0.1
+    latency_alpha: float = 0.2
+    loss_cost_factor: float = 50.0
+    cost_change_threshold: float = 0.25
+    dedup_cache: int = 100_000
+    carrier_loss_switch: float = 0.3
+    access_capacity_bps: float | None = 10_000_000.0
+    crypto_sign_delay: float = 0.0
+    crypto_verify_delay: float = 0.0
+    #: Extra per-protocol defaults, e.g. {"nm-strikes": {"n": 3, "m": 2}}.
+    protocol_defaults: dict = field(default_factory=dict)

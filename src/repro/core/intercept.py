@@ -1,0 +1,91 @@
+"""Seamless packet interception (Sec II-B).
+
+"Applications can either connect to the overlay via an API similar to
+the Unix sockets interface or use seamless packet interception
+techniques that allow unmodified applications to take advantage of
+overlay services."
+
+:class:`InterceptedSocket` is the second path: it exposes the familiar
+datagram-socket surface (``bind`` / ``sendto`` / a receive callback in
+place of ``recvfrom``), addressed by plain ``(host, port)`` tuples. The
+application never sees the overlay; the *interception layer* — not the
+app — decides which overlay services each destination's traffic gets,
+via the ``service_map``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.message import Address, OverlayMessage, ServiceSpec
+from repro.core.network import OverlayNetwork
+
+DatagramCallback = Callable[[bytes | Any, tuple[str, int]], None]
+
+
+class InterceptedSocket:
+    """A datagram socket transparently carried over the overlay.
+
+    Args:
+        overlay: The overlay the interceptor tunnels through.
+        host: The site whose overlay node intercepts this app's traffic
+            (in a deployment, the node co-located with the application).
+        default_service: Services applied to flows with no
+            ``service_map`` entry.
+        service_map: Optional per-destination overrides
+            ``{(host, port): ServiceSpec}`` — operator policy, invisible
+            to the application.
+    """
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        host: str,
+        default_service: ServiceSpec | None = None,
+        service_map: dict[tuple[str, int], ServiceSpec] | None = None,
+    ) -> None:
+        self.overlay = overlay
+        self.host = host
+        self.default_service = default_service or ServiceSpec()
+        self.service_map = dict(service_map or {})
+        self._client = None
+        self._recv_callback: DatagramCallback | None = None
+        self._bound_port: int | None = None
+
+    # ----------------------------------------------------- socket surface
+
+    def bind(self, port: int) -> None:
+        """Claim a local port (like ``socket.bind``)."""
+        if self._client is not None:
+            raise OSError("socket already bound")
+        self._bound_port = port
+        self._client = self.overlay.client(self.host, port, self._deliver)
+
+    def on_datagram(self, callback: DatagramCallback) -> None:
+        """Install the receive handler (the event-driven ``recvfrom``)."""
+        self._recv_callback = callback
+
+    def sendto(self, data: Any, addr: tuple[str, int], size: int = 1000) -> int:
+        """Send a datagram to ``(host, port)`` (like ``socket.sendto``).
+        Returns the number of payload bytes accepted, 0 on rejection."""
+        if self._client is None:
+            # Unbound senders get an ephemeral port, like UDP.
+            self._bound_port = None
+            self._client = self.overlay.client(self.host, None, self._deliver)
+        host, port = addr
+        service = self.service_map.get(addr, self.default_service)
+        accepted = self._client.send(
+            Address(host, port), payload=data, size=size, service=service
+        )
+        return size if accepted else 0
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    # ------------------------------------------------------------ wiring
+
+    def _deliver(self, msg: OverlayMessage) -> None:
+        if self._recv_callback is not None:
+            self._recv_callback(msg.payload, (msg.src.node, msg.src.port))

@@ -1,0 +1,163 @@
+"""Connectivity Graph Maintenance — shared global state #1 (Sec II-B).
+
+Every overlay node maintains a record of its own links' state (up/down
+and cost, where cost folds in measured latency and loss) and floods it
+to all other nodes as sequence-numbered link-state updates. Because the
+overlay has only a few tens of nodes, each node can hold the *global*
+connectivity graph and react to changes within a hello-detection time —
+the basis of sub-second rerouting.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class TopologyDatabase:
+    """Per-node replica of the global connectivity graph.
+
+    Records are keyed by origin node; each carries the origin's local
+    view ``{neighbor: cost-or-None}`` (``None`` = link down) and a
+    sequence number. Higher sequence numbers win; stale or duplicate
+    updates are ignored (and not re-flooded).
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[str, tuple[int, dict[str, float | None]]] = {}
+        self.version = 0
+
+    def update(self, origin: str, seq: int, neighbor_costs: dict) -> bool:
+        """Apply an update; returns True if it was new (should re-flood)."""
+        current = self._records.get(origin)
+        if current is not None and current[0] >= seq:
+            return False
+        self._records[origin] = (seq, dict(neighbor_costs))
+        self.version += 1
+        return True
+
+    def record(self, origin: str) -> dict | None:
+        entry = self._records.get(origin)
+        return dict(entry[1]) if entry else None
+
+    def seq(self, origin: str) -> int:
+        entry = self._records.get(origin)
+        return entry[0] if entry else 0
+
+    def origins(self) -> list[str]:
+        return list(self._records)
+
+    def adjacency(self) -> dict:
+        """Directed, deterministic adjacency for routing.
+
+        An edge ``u -> v`` exists iff ``u``'s record reports the link to
+        ``v`` as up. Keys are sorted so every node derives the *same*
+        data structure from the same records — required for consistent
+        hop-by-hop multicast trees.
+        """
+        adj: dict[str, dict[str, float]] = {}
+        for origin in sorted(self._records):
+            __, nbrs = self._records[origin]
+            adj[origin] = {
+                v: nbrs[v] for v in sorted(nbrs) if nbrs[v] is not None
+            }
+        return adj
+
+    def symmetric_adjacency(self) -> dict:
+        """Adjacency keeping only edges reported up *by both ends*
+        (used for path computations that must be traversable both ways,
+        e.g. disjoint-path requests)."""
+        adj = self.adjacency()
+        sym: dict[str, dict[str, float]] = {u: {} for u in adj}
+        for u, nbrs in adj.items():
+            for v, w in nbrs.items():
+                if u in adj.get(v, {}):
+                    sym[u][v] = w
+        return sym
+
+
+class GroupDatabase:
+    """Group State — shared global state #2 (Sec II-B).
+
+    Tracks, per overlay node, the set of groups that node has interested
+    clients in. Only node-level interest is shared (the two-level
+    hierarchy keeps per-client membership local to each node).
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[str, tuple[int, frozenset[str]]] = {}
+        self.version = 0
+
+    def update(self, origin: str, seq: int, groups) -> bool:
+        """Apply a membership update; True if new (should re-flood)."""
+        current = self._records.get(origin)
+        new = frozenset(groups)
+        if current is not None and current[0] >= seq:
+            return False
+        self._records[origin] = (seq, new)
+        self.version += 1
+        return True
+
+    def seq(self, origin: str) -> int:
+        entry = self._records.get(origin)
+        return entry[0] if entry else 0
+
+    def origins(self) -> list[str]:
+        return list(self._records)
+
+    def members(self, group: str) -> list[str]:
+        """Overlay nodes with clients in ``group`` (sorted, deterministic)."""
+        return sorted(
+            origin
+            for origin, (__, groups) in self._records.items()
+            if group in groups
+        )
+
+    def groups_of(self, origin: str) -> frozenset[str]:
+        entry = self._records.get(origin)
+        return entry[1] if entry else frozenset()
+
+
+class DedupCache:
+    """Bounded memory of recently seen message keys with per-link send
+    tracking, enabling redundant dissemination with de-duplication in
+    the middle of the network (Sec I: flow-based processing).
+
+    For each message key we remember which outgoing link bits the node
+    has already used, so a copy arriving later over a second path is
+    forwarded only on links not yet covered, and delivered only once.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._sent: dict[Hashable, int] = {}
+        self._delivered: set[Hashable] = set()
+
+    def already_delivered(self, key: Hashable) -> bool:
+        """Mark delivery; returns True if it was already delivered."""
+        if key in self._delivered:
+            return True
+        self._delivered.add(key)
+        if len(self._delivered) > self.capacity:
+            self._evict(self._delivered)
+        return False
+
+    def links_sent(self, key: Hashable) -> int:
+        """Bitmask of links this node has already forwarded ``key`` on."""
+        return self._sent.get(key, 0)
+
+    def mark_sent(self, key: Hashable, link_bits: int) -> None:
+        self._sent[key] = self._sent.get(key, 0) | link_bits
+        if len(self._sent) > self.capacity:
+            self._evict(self._sent)
+
+    @staticmethod
+    def _evict(store) -> None:
+        # Drop the oldest half (dicts and sets iterate in insertion order).
+        oldest = list(store)[: len(store) // 2]
+        if isinstance(store, set):
+            store.difference_update(oldest)
+        else:
+            for key in oldest:
+                del store[key]

@@ -1,0 +1,456 @@
+"""The overlay node daemon (Fig 2).
+
+An :class:`OverlayNode` is both a server (it accepts client connections
+through its session interface) and a router (it forwards packets for
+other overlay nodes). Incoming link-level frames are dispatched to the
+control handler (hellos, link-state and group-state updates) or to the
+per-(neighbor, protocol) link-protocol instance; data messages climb to
+the routing level, which forwards them per their flow's selected
+routing service, and to the session interface at destination nodes.
+
+Per-node processing adds ``config.proc_delay`` (< 1 ms, Sec II-D) to
+every forwarded message.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.link import OverlayLink
+from repro.core.flows import FlowTable
+from repro.core.linkstate import DedupCache, GroupDatabase, TopologyDatabase
+from repro.core.message import (
+    Frame,
+    LINK_IT_PRIORITY,
+    LINK_IT_RELIABLE,
+    OverlayMessage,
+    SOURCE_BASED,
+)
+from repro.core.routing import RoutingService
+from repro.core.session import SessionManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.network import OverlayNetwork
+
+DoneFn = Callable[[], None]
+
+#: Interval for checking advertised-vs-measured link cost drift.
+METRIC_CHECK_INTERVAL = 1.0
+
+
+class OverlayNode:
+    """One overlay daemon, living on an underlay host."""
+
+    def __init__(self, network: "OverlayNetwork", node_id: str, host: str) -> None:
+        self.network = network
+        self.id = node_id
+        self.host = host
+        self.sim = network.sim
+        self.config = network.config
+        self.counters = network.counters
+
+        self.topo_db = TopologyDatabase()
+        self.group_db = GroupDatabase()
+        self.routing = RoutingService(
+            node_id, self.topo_db, self.group_db, network.link_index
+        )
+        self.session = SessionManager(self)
+        self.dedup = DedupCache(self.config.dedup_cache)
+        #: Flow-based processing state (Sec II-C): every flow this node
+        #: originates, forwards, or delivers, with live counters.
+        self.flows = FlowTable()
+        self.links: dict[str, OverlayLink] = {}
+        self.protocols: dict[tuple[str, str], object] = {}
+        #: Adversary hook (see :mod:`repro.security.adversary`); ``None``
+        #: for correct nodes.
+        self.behavior = None
+
+        self._lsu_seq = 0
+        self._gsu_seq = 0
+        self._advertised: dict[str, float | None] = {}
+        self._started = False
+        self._protocol_epochs = 0
+        self.crashed = False
+
+    def next_protocol_epoch(self) -> str:
+        """Unique epoch for a fresh protocol instance (see
+        :meth:`repro.protocols.base.LinkProtocol.epoch_guard`)."""
+        self._protocol_epochs += 1
+        return f"{self.id}#{self._protocol_epochs}"
+
+    # ----------------------------------------------------------- startup
+
+    def start(self) -> None:
+        """Start the daemon: hello probing on every link plus the
+        initial and periodic link-state/group-state floods."""
+        if self._started:
+            return
+        self._started = True
+        for link in self.links.values():
+            link.start()
+        self.originate_lsu()
+        self.originate_gsu()
+        self.sim.schedule(self.config.lsu_refresh, self._refresh_tick)
+        self.sim.schedule(METRIC_CHECK_INTERVAL, self._metric_tick)
+
+    def _refresh_tick(self) -> None:
+        self.originate_lsu()
+        self.originate_gsu()
+        self.sim.schedule(self.config.lsu_refresh, self._refresh_tick)
+
+    def _metric_tick(self) -> None:
+        """Originate a fresh LSU when measured link costs have drifted
+        from what we last advertised (loss storms reroute via this)."""
+        threshold = self.config.cost_change_threshold
+        for nbr, link in self.links.items():
+            old = self._advertised.get(nbr)
+            new = link.cost()
+            if old is None or new is None:
+                changed = (old is None) != (new is None)
+            else:
+                changed = abs(new - old) > threshold * max(old, 1e-9)
+            if changed:
+                self.originate_lsu()
+                break
+        self.sim.schedule(METRIC_CHECK_INTERVAL, self._metric_tick)
+
+    # ------------------------------------------------------ shared state
+
+    def originate_lsu(self) -> None:
+        """Flood this node's current link-state record (Connectivity
+        Graph Maintenance)."""
+        self._lsu_seq += 1
+        costs = {nbr: link.cost() for nbr, link in self.links.items()}
+        self._advertised = dict(costs)
+        self.topo_db.update(self.id, self._lsu_seq, costs)
+        self._flood("lsu", {"origin": self.id, "seq": self._lsu_seq, "costs": costs})
+
+    def originate_gsu(self) -> None:
+        """Flood this node's group-interest record (Group State)."""
+        self._gsu_seq += 1
+        groups = sorted(self.session.local_groups())
+        self.group_db.update(self.id, self._gsu_seq, groups)
+        self._flood("gsu", {"origin": self.id, "seq": self._gsu_seq, "groups": groups})
+
+    def _flood(self, ftype: str, info: dict, exclude: str | None = None) -> None:
+        for nbr, link in self.links.items():
+            if nbr == exclude:
+                continue
+            link.transmit(
+                Frame(proto="control", ftype=ftype, src_node=self.id,
+                      dst_node=nbr, info=info)
+            )
+
+    def _on_link_state_change(self, link: OverlayLink) -> None:
+        self.counters.add(f"link-{'up' if link.up else 'down'}")
+        self.originate_lsu()
+        if link.up:
+            # Adjacency bring-up: exchange full databases with the new
+            # neighbor (as OSPF does), so a freshly (re)started or
+            # long-partitioned node is consistent within one RTT instead
+            # of waiting out the periodic refresh — transient routing
+            # loops through stale state die here.
+            self._sync_neighbor(link)
+
+    def _sync_neighbor(self, link: OverlayLink) -> None:
+        for origin in self.topo_db.origins():
+            link.transmit(Frame(
+                proto="control", ftype="lsu", src_node=self.id,
+                dst_node=link.nbr_id,
+                info={"origin": origin, "seq": self.topo_db.seq(origin),
+                      "costs": self.topo_db.record(origin)},
+            ))
+        for origin in self.group_db.origins():
+            link.transmit(Frame(
+                proto="control", ftype="gsu", src_node=self.id,
+                dst_node=link.nbr_id,
+                info={"origin": origin, "seq": self.group_db.seq(origin),
+                      "groups": sorted(self.group_db.groups_of(origin))},
+            ))
+
+    # ---------------------------------------------------------- receive
+
+    def crash(self) -> None:
+        """Fail-stop the daemon: it stops sending (hellos included) and
+        ignores everything it receives. Neighbors detect the silence
+        within the hello-miss budget and the overlay routes around it;
+        :meth:`recover` brings the node back with fresh state."""
+        self.crashed = True
+        for link in self.links.values():
+            link.muted = True
+
+    def recover(self) -> None:
+        """Restart a crashed daemon (protocol state was lost)."""
+        self.crashed = False
+        self.protocols.clear()
+        for link in self.links.values():
+            link.muted = False
+        self.originate_lsu()
+        self.originate_gsu()
+
+    def receive_frame(self, frame: Frame) -> None:
+        """Entry point for every frame arriving from the underlay."""
+        if self.crashed:
+            return
+        if not self._authenticate(frame):
+            self.counters.add("auth-rejected")
+            return
+        if self.behavior is not None:
+            if not self.behavior.on_receive_frame(self, frame):
+                self.counters.add("adversary-swallowed")
+                return
+        if frame.proto == "control":
+            self._handle_control(frame)
+            return
+        protocol = self.protocol_for(frame.src_node, frame.proto)
+        protocol.on_frame(frame)
+
+    def _authenticate(self, frame: Frame) -> bool:
+        """Sec IV-B: with a keystore deployed, a frame is accepted only
+        if it carries a valid signature by its claimed sending node.
+        (A *compromised* node holds valid credentials and passes — that
+        is exactly why the IT services exist.)"""
+        keystore = self.network.keystore
+        if keystore is None:
+            return True
+        if frame.auth is None:
+            return False
+        return (
+            frame.auth.identity == frame.src_node
+            and keystore.verify(frame.auth, (frame.proto, frame.ftype, frame.link_seq))
+        )
+
+    def _handle_control(self, frame: Frame) -> None:
+        if frame.ftype == "hello":
+            link = self.links.get(frame.src_node)
+            if link is not None:
+                link.on_hello(frame.info)
+        elif frame.ftype == "lsu":
+            info = frame.info
+            if self.topo_db.update(info["origin"], info["seq"], info["costs"]):
+                self._flood("lsu", info, exclude=frame.src_node)
+        elif frame.ftype == "gsu":
+            info = frame.info
+            if self.group_db.update(info["origin"], info["seq"], info["groups"]):
+                self._flood("gsu", info, exclude=frame.src_node)
+        else:
+            self.counters.add("unknown-control")
+
+    # ------------------------------------------------------- link level
+
+    def protocol_for(self, nbr: str, proto_name: str):
+        """The (neighbor, protocol) aggregate instance, created on first
+        use (flows selecting the same protocol share it — Sec II-C's
+        aggregate-flow processing)."""
+        key = (nbr, proto_name)
+        if key not in self.protocols:
+            from repro.protocols import create_protocol
+
+            link = self.links.get(nbr)
+            if link is None:
+                raise KeyError(f"{self.id} has no overlay link to {nbr}")
+            self.protocols[key] = create_protocol(proto_name, self, link)
+        return self.protocols[key]
+
+    def deliver_up(self, from_nbr: str, msg: OverlayMessage,
+                   done: DoneFn | None = None) -> None:
+        """Called by link protocols when a data message is ready for the
+        routing level; applies the per-node processing delay."""
+        arrival_bit = None
+        link = self.links.get(from_nbr)
+        if link is not None:
+            arrival_bit = link.bit
+        self.sim.schedule(
+            self.config.proc_delay, self._route, msg, from_nbr, arrival_bit, done
+        )
+
+    # ---------------------------------------------------- session entry
+
+    def ingress(self, msg: OverlayMessage, done: DoneFn | None = None) -> bool:
+        """A local client introduces ``msg`` into the overlay. Returns
+        False if the message was rejected immediately (backpressure)."""
+        msg.origin = self.id
+        msg.sent_at = self.sim.now
+        if msg.service.routing in SOURCE_BASED:
+            msg.bitmask = self._origin_bitmask(msg)
+            if msg.bitmask == 0 and not msg.dst.is_group and msg.dst.node != self.id:
+                self.counters.add("no-overlay-route")
+                return False
+        if msg.dst.is_anycast:
+            msg.target = self.routing.anycast_target(msg.dst.group)
+            if msg.target is None:
+                self.counters.add("anycast-no-member")
+                return False
+        self.flows.observe(msg, self.sim.now, "origin")
+        sign_delay = self._sign_delay(msg)
+        if sign_delay > 0:
+            self.sim.schedule(sign_delay, self._route, msg, None, None, done)
+            return True
+        return self._route(msg, None, None, done)
+
+    def _sign_delay(self, msg: OverlayMessage) -> float:
+        if msg.service.link in (LINK_IT_PRIORITY, LINK_IT_RELIABLE):
+            return self.config.crypto_sign_delay
+        return 0.0
+
+    def _origin_bitmask(self, msg: OverlayMessage) -> int:
+        if msg.dst.is_group:
+            return self.routing.group_bitmask(msg.dst.group, msg.service)
+        return self.routing.source_bitmask(msg.dst.node, msg.service)
+
+    # ----------------------------------------------------- routing level
+
+    def _route(
+        self,
+        msg: OverlayMessage,
+        from_nbr: str | None,
+        arrival_bit: int | None,
+        done: DoneFn | None = None,
+    ) -> bool:
+        """Forward and/or locally deliver ``msg``. Returns False only for
+        an immediate origin-side rejection."""
+        if from_nbr is not None:
+            msg.ttl -= 1
+            if msg.ttl <= 0:
+                self.counters.add("overlay-ttl-exceeded")
+                return True
+            self.counters.add("forwarded")
+            self.flows.observe(msg, self.sim.now, "forwarded")
+        if msg.service.routing in SOURCE_BASED:
+            self._route_source_based(msg, arrival_bit, done)
+            return True
+        return self._route_link_state(msg, from_nbr, done)
+
+    def _route_source_based(
+        self, msg: OverlayMessage, arrival_bit: int | None, done: DoneFn | None
+    ) -> None:
+        key = msg.key
+        if self._is_local_destination(msg):
+            self._deliver_once(msg)
+        if arrival_bit is not None:
+            self.dedup.mark_sent(key, 1 << arrival_bit)
+        sent_mask = self.dedup.links_sent(key)
+        targets = [
+            (nbr, bit)
+            for nbr, bit in self.routing.bitmask_neighbors(msg.bitmask, arrival_bit)
+            if not sent_mask >> bit & 1
+        ]
+        if not targets:
+            done and done()
+            return
+        tracker = _AcceptTracker(len(targets), done)
+        for nbr, bit in targets:
+            self.dedup.mark_sent(key, 1 << bit)
+            self._send_on_link(nbr, msg, tracker.accept_one)
+
+    def _is_local_destination(self, msg: OverlayMessage) -> bool:
+        if msg.dst.is_multicast:
+            return self.session.has_members(msg.dst.group)
+        if msg.dst.is_anycast:
+            return msg.target == self.id
+        return msg.dst.node == self.id
+
+    def _route_link_state(
+        self, msg: OverlayMessage, from_nbr: str | None, done: DoneFn | None
+    ) -> bool:
+        if msg.dst.is_multicast:
+            self._route_multicast(msg, from_nbr, done)
+            return True
+        if msg.dst.is_anycast:
+            return self._route_anycast(msg, done)
+        if msg.dst.node == self.id:
+            self._deliver_once(msg)
+            done and done()
+            return True
+        nxt = self.routing.next_hop(msg.dst.node)
+        if nxt is None:
+            self.counters.add("no-overlay-route")
+            done and done()
+            return False
+        return self._send_on_link(nxt, msg, done)
+
+    def _deliver_once(self, msg: OverlayMessage) -> None:
+        """Local delivery with network-wide de-duplication: redundantly
+        transmitted or adversarially duplicated copies reach the client
+        exactly once (flow-based processing, Sec I/II-C)."""
+        if self.dedup.already_delivered(msg.key):
+            self.counters.add("duplicate-suppressed")
+            return
+        self.flows.observe(msg, self.sim.now, "delivered")
+        self.session.deliver_local(msg)
+
+    def _route_multicast(
+        self, msg: OverlayMessage, from_nbr: str | None, done: DoneFn | None
+    ) -> None:
+        group = msg.dst.group
+        if self.session.has_members(group):
+            self._deliver_once(msg)
+        children = [
+            c for c in self.routing.multicast_children(msg.origin, group)
+            if c != from_nbr
+        ]
+        if not children:
+            done and done()
+            return
+        tracker = _AcceptTracker(len(children), done)
+        for child in children:
+            self._send_on_link(child, msg, tracker.accept_one)
+
+    def _route_anycast(self, msg: OverlayMessage, done: DoneFn | None) -> bool:
+        if msg.target == self.id:
+            self._deliver_once(msg)
+            done and done()
+            return True
+        if msg.target is None or self.routing.distance(self.id, msg.target) is None:
+            msg.target = self.routing.anycast_target(msg.dst.group)
+            if msg.target is None:
+                self.counters.add("anycast-no-member")
+                done and done()
+                return False
+            if msg.target == self.id:
+                self._deliver_once(msg)
+                done and done()
+                return True
+        nxt = self.routing.next_hop(msg.target)
+        if nxt is None:
+            self.counters.add("no-overlay-route")
+            done and done()
+            return False
+        return self._send_on_link(nxt, msg, done)
+
+    # -------------------------------------------------------- send path
+
+    def _send_on_link(
+        self, nbr: str, msg: OverlayMessage, accepted: DoneFn | None = None
+    ) -> bool:
+        if self.behavior is not None:
+            if not self.behavior.on_forward(self, msg, nbr):
+                self.counters.add("adversary-dropped")
+                # Report acceptance so upstream state is released; the
+                # adversary is *lying*, which is exactly the threat the
+                # redundant dissemination schemes are built for.
+                accepted and accepted()
+                return True
+        protocol = self.protocol_for(nbr, msg.service.link)
+        ok = protocol.send(msg)
+        if ok:
+            accepted and accepted()
+            return True
+        if accepted is not None and getattr(protocol, "supports_backpressure", False):
+            protocol.when_space(lambda: self._send_on_link(nbr, msg, accepted))
+            return True
+        self.counters.add("send-rejected")
+        return False
+
+
+class _AcceptTracker:
+    """Invokes ``done`` once all of N downstream accepts have happened."""
+
+    def __init__(self, n: int, done: DoneFn | None) -> None:
+        self.remaining = n
+        self.done = done
+
+    def accept_one(self) -> None:
+        self.remaining -= 1
+        if self.remaining == 0 and self.done is not None:
+            self.done()

@@ -1,0 +1,290 @@
+"""The routing level (Fig 2): Link-State and Source-Based routing.
+
+Link-State routing forwards hop-by-hop along shortest paths (or
+deterministic multicast trees / anycast targets) computed from the
+shared connectivity graph. Source-Based routing implements the paper's
+*unified bitmask mechanism*: the origin stamps each packet with a
+bitmask naming exactly the set of overlay links it may traverse — which
+expresses k node-disjoint paths, arbitrary dissemination graphs, and
+constrained flooding with a single forwarding rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.alg.dijkstra import dijkstra, next_hops
+from repro.alg.disjoint import node_disjoint_paths
+from repro.alg.trees import multicast_tree
+from repro.core import dissemination
+from repro.core.linkstate import GroupDatabase, TopologyDatabase
+from repro.core.message import (
+    ROUTING_ADAPTIVE,
+    ROUTING_DISJOINT,
+    ROUTING_FLOOD,
+    ROUTING_GRAPH,
+    ROUTING_PATH,
+    ServiceSpec,
+)
+
+#: An edge is "degraded" when its cost exceeds its best-ever cost by
+#: this factor (link costs fold measured loss, so loss shows up here).
+DEGRADED_FACTOR = 1.5
+
+
+class LinkIndex:
+    """Stable numbering of the overlay's links for bitmask routing.
+
+    The overlay topology (which node pairs have links) is fixed at
+    deployment, so every node shares the same numbering; only link *state*
+    changes at runtime. One bit per undirected overlay link (Sec II-B).
+    """
+
+    def __init__(self, links: Iterable[tuple[str, str]]) -> None:
+        self._bit_of: dict[frozenset, int] = {}
+        self._pair_of: list[tuple[str, str]] = []
+        self._incident: dict[str, list[tuple[str, int]]] = {}
+        for a, b in sorted(tuple(sorted(pair)) for pair in links):
+            key = frozenset((a, b))
+            if key in self._bit_of:
+                raise ValueError(f"duplicate overlay link {a}-{b}")
+            bit = len(self._pair_of)
+            self._bit_of[key] = bit
+            self._pair_of.append((a, b))
+            self._incident.setdefault(a, []).append((b, bit))
+            self._incident.setdefault(b, []).append((a, bit))
+
+    def __len__(self) -> int:
+        return len(self._pair_of)
+
+    def bit(self, a: str, b: str) -> int:
+        """Bit position of the a-b link."""
+        return self._bit_of[frozenset((a, b))]
+
+    def pair(self, bit: int) -> tuple[str, str]:
+        return self._pair_of[bit]
+
+    def incident(self, node: str) -> list[tuple[str, int]]:
+        """(neighbor, bit) for every overlay link at ``node``."""
+        return self._incident.get(node, [])
+
+    def mask_of_edges(self, edges: Iterable[tuple[str, str]]) -> int:
+        """Bitmask naming exactly ``edges`` (pairs in either order)."""
+        mask = 0
+        for a, b in edges:
+            mask |= 1 << self.bit(a, b)
+        return mask
+
+    def full_mask(self) -> int:
+        """All links — constrained flooding."""
+        return (1 << len(self._pair_of)) - 1
+
+    def edges_of_mask(self, mask: int) -> list[tuple[str, str]]:
+        return [self._pair_of[i] for i in range(len(self._pair_of)) if mask >> i & 1]
+
+
+class RoutingService:
+    """Per-node routing decisions over the shared state replicas.
+
+    All computed artifacts (routing tables, multicast trees, source
+    bitmasks) are cached and invalidated by the databases' version
+    counters, so reactions to topology changes are immediate once the
+    flooded update arrives.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        topo_db: TopologyDatabase,
+        group_db: GroupDatabase,
+        link_index: LinkIndex,
+    ) -> None:
+        self.node_id = node_id
+        self.topo = topo_db
+        self.groups = group_db
+        self.links = link_index
+        self._adj_version = -1
+        self._adj: dict = {}
+        self._sym_adj: dict = {}
+        self._tables: dict[str, dict] = {}
+        self._dist: dict[str, dict] = {}
+        self._trees: dict[tuple, dict] = {}
+        self._tree_versions = (-1, -1)
+        self._masks: dict[tuple, int] = {}
+        self._cost_baselines: dict[tuple, float] = {}
+
+    # ------------------------------------------------------- state sync
+
+    def _refresh(self) -> None:
+        if self._adj_version == self.topo.version:
+            return
+        self._adj = self.topo.adjacency()
+        self._sym_adj = self.topo.symmetric_adjacency()
+        self._tables.clear()
+        self._dist.clear()
+        self._masks.clear()
+        self._adj_version = self.topo.version
+        for u, nbrs in self._adj.items():
+            for v, cost in nbrs.items():
+                key = (u, v)
+                best = self._cost_baselines.get(key)
+                if best is None or cost < best:
+                    self._cost_baselines[key] = cost
+
+    def _degraded_at(self, node: str) -> bool:
+        """True if any link incident to ``node`` currently costs well
+        above its best-ever cost (or is down while its peer is up)."""
+        reported = self._adj.get(node, {})
+        for (u, v), baseline in self._cost_baselines.items():
+            if u != node:
+                continue
+            current = reported.get(v)
+            if current is None:
+                return True  # a known link at this node is down
+            if current > DEGRADED_FACTOR * baseline:
+                return True
+        return False
+
+    def adjacency(self) -> dict:
+        """The current (directed) routing adjacency."""
+        self._refresh()
+        return self._adj
+
+    # ------------------------------------------------- link-state unicast
+
+    def next_hop(self, dst_node: str) -> str | None:
+        """Next overlay hop from this node toward ``dst_node``."""
+        self._refresh()
+        if dst_node not in self._tables:
+            self._tables[dst_node] = next_hops(self._adj, dst_node)
+        return self._tables[dst_node].get(self.node_id)
+
+    def distance(self, src: str, dst: str) -> float | None:
+        """Shortest-path cost between two overlay nodes, or None."""
+        self._refresh()
+        if src not in self._dist:
+            self._dist[src], __ = dijkstra(self._adj, src)
+        return self._dist[src].get(dst)
+
+    # --------------------------------------------------------- multicast
+
+    def multicast_children(self, origin: str, group: str) -> list[str]:
+        """This node's children in the deterministic multicast tree for
+        (``origin``, ``group``). Every node computes the same tree from
+        the same shared state (sorted adjacency + deterministic
+        Dijkstra), so hop-by-hop forwarding composes into one tree."""
+        self._refresh()
+        versions = (self.topo.version, self.groups.version)
+        if versions != self._tree_versions:
+            self._trees.clear()
+            self._tree_versions = versions
+        key = (origin, group)
+        if key not in self._trees:
+            members = self.groups.members(group)
+            self._trees[key] = multicast_tree(self._adj, origin, members)
+        return self._trees[key].get(self.node_id, [])
+
+    def anycast_target(self, group: str) -> str | None:
+        """The nearest overlay node with members of ``group`` (Sec II-B:
+        anycast delivers to exactly one member)."""
+        self._refresh()
+        members = self.groups.members(group)
+        if not members:
+            return None
+        if self.node_id in members:
+            return self.node_id
+        best: str | None = None
+        best_dist = float("inf")
+        for member in members:  # members is sorted -> deterministic
+            dist = self.distance(self.node_id, member)
+            if dist is not None and dist < best_dist:
+                best, best_dist = member, dist
+        return best
+
+    # ------------------------------------------------------ source-based
+
+    def source_bitmask(self, dst_node: str, service: ServiceSpec) -> int:
+        """Bitmask for a source-routed message from this node.
+
+        ``disjoint``: union of ``service.k`` min-cost node-disjoint
+        paths; ``graph``: the src+dst problem dissemination graph;
+        ``flood``: every overlay link (delivery then only requires one
+        correct path to exist, Sec IV-B).
+        """
+        self._refresh()
+        if service.routing == ROUTING_FLOOD:
+            return self.links.full_mask()
+        key = (dst_node, service.routing, service.k, service.param("path"))
+        if key in self._masks:
+            return self._masks[key]
+        if service.routing == ROUTING_DISJOINT:
+            paths = node_disjoint_paths(
+                self._sym_adj, self.node_id, dst_node, service.k
+            )
+            edges: set = set()
+            for path in paths:
+                edges |= {tuple(sorted(e)) for e in zip(path, path[1:])}
+        elif service.routing == ROUTING_GRAPH:
+            edges = dissemination.src_dst_problem_graph(
+                self._sym_adj, self.node_id, dst_node
+            )
+        elif service.routing == ROUTING_ADAPTIVE:
+            edges = self._adaptive_graph(dst_node)
+        elif service.routing == ROUTING_PATH:
+            path = service.param("path")
+            if not path or path[0] != self.node_id or path[-1] != dst_node:
+                raise ValueError(
+                    f"source-path routing needs a 'path' param from "
+                    f"{self.node_id!r} to {dst_node!r}, got {path!r}"
+                )
+            edges = {tuple(sorted(e)) for e in zip(path, path[1:])}
+        else:
+            raise ValueError(f"not a source-based routing service: {service.routing}")
+        mask = self.links.mask_of_edges(edges)
+        self._masks[key] = mask
+        return mask
+
+    def _adaptive_graph(self, dst_node: str) -> set:
+        """Targeted redundancy where the shared state shows trouble:
+        two disjoint paths when the network looks clean, a source- /
+        destination- / both-sides problem graph when links near those
+        endpoints are degraded ([2]'s policy, approximated)."""
+        src_problem = self._degraded_at(self.node_id)
+        dst_problem = self._degraded_at(dst_node)
+        if src_problem and dst_problem:
+            return dissemination.src_dst_problem_graph(
+                self._sym_adj, self.node_id, dst_node
+            )
+        if src_problem:
+            return dissemination.source_problem_graph(
+                self._sym_adj, self.node_id, dst_node
+            )
+        if dst_problem:
+            return dissemination.destination_problem_graph(
+                self._sym_adj, self.node_id, dst_node
+            )
+        return dissemination.two_disjoint_paths_graph(
+            self._sym_adj, self.node_id, dst_node
+        )
+
+    def group_bitmask(self, group: str, service: ServiceSpec) -> int:
+        """Source-routed dissemination to every member node of a group:
+        union of the per-destination bitmasks."""
+        mask = 0
+        for member in self.groups.members(group):
+            if member == self.node_id:
+                continue
+            mask |= self.source_bitmask(member, service)
+        return mask
+
+    def bitmask_neighbors(self, bitmask: int, exclude_bit: int | None = None):
+        """Neighbors of this node reachable over links named in
+        ``bitmask`` (optionally excluding the arrival link's bit).
+        Returns (neighbor, bit) pairs."""
+        out = []
+        for nbr, bit in self.links.incident(self.node_id):
+            if exclude_bit is not None and bit == exclude_bit:
+                continue
+            if bitmask >> bit & 1:
+                out.append((nbr, bit))
+        return out

@@ -1,0 +1,43 @@
+"""Underlay Internet substrate.
+
+The paper deploys overlays on the real Internet across multiple ISP
+backbones. We have no testbed, so this package provides the substitute:
+a discrete-event underlay with
+
+* ISP backbone graphs laid over real city coordinates
+  (:mod:`repro.net.topologies`),
+* per-fiber propagation delay, serialization queuing, and pluggable loss
+  processes including bursty Gilbert–Elliott loss (:mod:`repro.net.loss`),
+* hop-by-hop datagram forwarding with *stale routing tables after a
+  failure* until the domain reconverges (:mod:`repro.net.backbone`) —
+  sub-second-to-seconds inside an ISP, ~40 s for the interdomain
+  ("native Internet") paths the paper contrasts against, and
+* multihomed host attachments and carrier selection
+  (:mod:`repro.net.internet`).
+"""
+
+from repro.net.backbone import FiberLink, RoutingDomain
+from repro.net.internet import Host, Internet
+from repro.net.loss import (
+    BernoulliLoss,
+    CompositeLoss,
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+    ScheduledOutages,
+)
+from repro.net.packet import Datagram
+
+__all__ = [
+    "Datagram",
+    "FiberLink",
+    "RoutingDomain",
+    "Host",
+    "Internet",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "ScheduledOutages",
+    "CompositeLoss",
+]

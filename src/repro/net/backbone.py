@@ -1,0 +1,273 @@
+"""Fiber links and routing domains (ISP backbones, and the interdomain
+"native Internet" domain built by :class:`repro.net.internet.Internet`).
+
+The key behaviour reproduced here is *slow reconvergence*: when a fiber
+fails, the domain keeps forwarding along stale routing tables — packets
+die at the failed hop — until ``convergence_delay`` elapses and the
+tables are recomputed. Inside an ISP this is seconds; for the
+interdomain paths the paper cites 40 seconds to minutes of BGP
+convergence. The overlay's sub-second rerouting (Sec II-A) is measured
+against exactly this behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable
+
+from repro.alg.dijkstra import extract_path, dijkstra, next_hops
+from repro.net.loss import LossModel, NoLoss
+from repro.sim.events import Simulator
+
+NodeId = Hashable
+
+#: Direction constants for per-direction link queues.
+FWD = 1
+REV = -1
+
+
+class FiberLink:
+    """A physical (bidirectional) fiber between two routers.
+
+    One :class:`FiberLink` object may be referenced by several routing
+    domains (its owning ISP's domain and the interdomain domain), so a
+    physical cut affects every path that shares the fiber — this is what
+    makes the disjointness audits of Fig 1 meaningful.
+
+    Attributes:
+        name: Stable identifier, e.g. ``"ispA:NYC-CHI"``.
+        delay: One-way propagation delay in seconds.
+        capacity_bps: Serialization rate; ``None`` means uncapped.
+        loss: The link's loss process (replaceable at runtime).
+        failed: Physical state; failed links drop every packet.
+    """
+
+    #: Packets queued beyond this many seconds of serialization delay
+    #: are dropped (a bounded router queue).
+    MAX_QUEUE_DELAY = 0.2
+
+    def __init__(
+        self,
+        name: str,
+        delay: float,
+        capacity_bps: float | None = None,
+        loss: LossModel | None = None,
+        jitter: float = 0.0,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative link delay: {delay}")
+        if jitter < 0:
+            raise ValueError(f"negative jitter: {jitter}")
+        self.name = name
+        self.delay = delay
+        self.capacity_bps = capacity_bps
+        self.loss = loss if loss is not None else NoLoss()
+        #: Maximum extra per-packet queueing noise (uniform in
+        #: [0, jitter]); large enough values reorder packets, which the
+        #: recovery protocols must absorb without spurious requests.
+        self.jitter = jitter
+        self.failed = False
+        self._busy_until = {FWD: 0.0, REV: 0.0}
+        self.bytes_carried = 0
+        self.packets_carried = 0
+        self.packets_dropped = 0
+
+    def traverse(
+        self, now: float, wire_bytes: int, direction: int, rng: random.Random
+    ) -> float | None:
+        """Attempt to carry ``wire_bytes`` across the link.
+
+        Returns the arrival time at the far end, or ``None`` if the
+        packet is lost (failure, loss process, or queue overflow).
+        """
+        if self.failed:
+            self.packets_dropped += 1
+            return None
+        if self.loss.should_drop(now, rng):
+            self.packets_dropped += 1
+            return None
+        queue_delay = 0.0
+        tx_delay = 0.0
+        if self.capacity_bps is not None:
+            tx_delay = wire_bytes * 8.0 / self.capacity_bps
+            busy = self._busy_until[direction]
+            queue_delay = max(0.0, busy - now)
+            if queue_delay > self.MAX_QUEUE_DELAY:
+                self.packets_dropped += 1
+                return None
+            self._busy_until[direction] = now + queue_delay + tx_delay
+        self.bytes_carried += wire_bytes
+        self.packets_carried += 1
+        noise = rng.uniform(0.0, self.jitter) if self.jitter > 0 else 0.0
+        return now + queue_delay + tx_delay + self.delay + noise
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "FAILED" if self.failed else "up"
+        return f"<FiberLink {self.name} {self.delay * 1000:.1f}ms {state}>"
+
+
+class RoutingDomain:
+    """A routed graph of routers and fibers with delayed reconvergence.
+
+    Forwarding is hop-by-hop through next-hop tables. Tables reflect the
+    topology *as of the last convergence*: ``fail_link`` / ``repair_link``
+    take effect on forwarding state only ``convergence_delay`` seconds
+    later (the physical drop behaviour is immediate, via
+    :attr:`FiberLink.failed`).
+    """
+
+    def __init__(
+        self, name: str, sim: Simulator, convergence_delay: float = 10.0
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.convergence_delay = convergence_delay
+        self._adj: dict[NodeId, dict[NodeId, tuple[FiberLink, int]]] = {}
+        self._route_adj: dict[NodeId, dict[NodeId, float]] = {}
+        self._tables: dict[NodeId, dict[NodeId, NodeId]] = {}
+        self._converge_listeners: list[Callable[[], None]] = []
+        self._pending_reconverge = False
+
+    # ---------------------------------------------------------- topology
+
+    def add_router(self, router: NodeId) -> None:
+        self._adj.setdefault(router, {})
+
+    @property
+    def routers(self) -> list[NodeId]:
+        return list(self._adj)
+
+    def add_link(
+        self,
+        a: NodeId,
+        b: NodeId,
+        delay: float,
+        capacity_bps: float | None = None,
+        loss: LossModel | None = None,
+        name: str | None = None,
+        jitter: float = 0.0,
+    ) -> FiberLink:
+        """Create a new fiber between ``a`` and ``b`` and wire it in."""
+        link = FiberLink(
+            name or f"{self.name}:{a}-{b}", delay, capacity_bps, loss, jitter
+        )
+        self.add_link_object(a, b, link)
+        return link
+
+    def add_link_object(self, a: NodeId, b: NodeId, link: FiberLink) -> None:
+        """Wire an existing fiber object between ``a`` and ``b`` (used by
+        the interdomain domain to share fibers with ISP domains;
+        orientation ``a -> b`` is the link's FWD direction)."""
+        if a == b:
+            raise ValueError(f"self-loop at {a!r}")
+        self.add_router(a)
+        self.add_router(b)
+        self._adj[a][b] = (link, FWD)
+        self._adj[b][a] = (link, REV)
+        self._refresh_routing_now()
+
+    def link_between(self, a: NodeId, b: NodeId) -> FiberLink | None:
+        entry = self._adj.get(a, {}).get(b)
+        return entry[0] if entry else None
+
+    def links(self) -> list[FiberLink]:
+        """All distinct fiber objects in the domain."""
+        seen: dict[int, FiberLink] = {}
+        for nbrs in self._adj.values():
+            for link, __ in nbrs.values():
+                seen[id(link)] = link
+        return list(seen.values())
+
+    # ----------------------------------------------------------- routing
+
+    def _current_adjacency(self) -> dict:
+        """Delay-weighted adjacency excluding failed links."""
+        return {
+            u: {
+                v: link.delay
+                for v, (link, __) in nbrs.items()
+                if not link.failed
+            }
+            for u, nbrs in self._adj.items()
+        }
+
+    def _refresh_routing_now(self) -> None:
+        """Recompute forwarding state immediately (topology changes made
+        while *building* the network converge instantly)."""
+        self._route_adj = self._current_adjacency()
+        self._tables.clear()
+
+    def next_hop(self, router: NodeId, dst: NodeId) -> NodeId | None:
+        """Next hop from ``router`` toward ``dst`` per current tables."""
+        if dst not in self._tables:
+            self._tables[dst] = next_hops(self._route_adj, dst)
+        return self._tables[dst].get(router)
+
+    def current_path(self, src: NodeId, dst: NodeId) -> list[NodeId] | None:
+        """The router path forwarding would take right now (may include a
+        failed link if the domain has not reconverged yet)."""
+        if src == dst:
+            return [src]
+        path = [src]
+        node = src
+        seen = {src}
+        while node != dst:
+            node = self.next_hop(node, dst)
+            if node is None or node in seen:
+                return None
+            path.append(node)
+            seen.add(node)
+        return path
+
+    def shortest_converged_path(self, src: NodeId, dst: NodeId) -> list | None:
+        """Shortest path over the *live* topology (what tables will hold
+        after convergence) — used for audits, not forwarding."""
+        adj = self._current_adjacency()
+        __, prev = dijkstra(adj, src)
+        return extract_path(prev, src, dst)
+
+    def link_on_path(self, u: NodeId, v: NodeId) -> tuple[FiberLink, int]:
+        entry = self._adj.get(u, {}).get(v)
+        if entry is None:
+            raise KeyError(f"no link between {u!r} and {v!r} in {self.name}")
+        return entry
+
+    # ---------------------------------------------------------- failures
+
+    def fail_link(self, a: NodeId, b: NodeId) -> None:
+        """Cut the fiber between ``a`` and ``b`` (drops start now; the
+        forwarding tables only heal after ``convergence_delay``)."""
+        link = self.link_between(a, b)
+        if link is None:
+            raise KeyError(f"no link between {a!r} and {b!r} in {self.name}")
+        link.failed = True
+        self._schedule_reconverge()
+
+    def repair_link(self, a: NodeId, b: NodeId) -> None:
+        """Repair the fiber (usable by forwarding only after convergence)."""
+        link = self.link_between(a, b)
+        if link is None:
+            raise KeyError(f"no link between {a!r} and {b!r} in {self.name}")
+        link.failed = False
+        self._schedule_reconverge()
+
+    def notify_topology_changed(self) -> None:
+        """Called by the Internet when a shared fiber changed state."""
+        self._schedule_reconverge()
+
+    def _schedule_reconverge(self) -> None:
+        if self._pending_reconverge:
+            return
+        self._pending_reconverge = True
+        self.sim.schedule(self.convergence_delay, self._reconverge)
+
+    def _reconverge(self) -> None:
+        self._pending_reconverge = False
+        self._route_adj = self._current_adjacency()
+        self._tables.clear()
+        for listener in self._converge_listeners:
+            listener()
+
+    def on_converge(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired whenever the domain reconverges."""
+        self._converge_listeners.append(listener)

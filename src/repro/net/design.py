@@ -1,0 +1,159 @@
+"""Overlay topology design and audit tooling (Sec II-A).
+
+"To exploit physical disjointness available in the underlying networks,
+the overlay node locations and connections are selected strategically"
+— short links (~10 ms) for predictable per-hop behaviour, at least
+two node-disjoint overlay paths between any pair, physical-fiber
+disjointness behind overlay disjointness, and *not* a clique.
+
+:func:`audit_overlay` scores an overlay design against those rules;
+:func:`design_overlay` produces one: it starts from every candidate
+link within the delay budget and greedily prunes the longest redundant
+links while preserving 2-node-connectivity and a path-stretch bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.alg.dijkstra import dijkstra
+from repro.alg.disjoint import node_disjoint_paths
+from repro.alg.graph import undirected
+from repro.net.internet import NATIVE, Internet
+
+
+def _best_carrier_delay(internet: Internet, a: str, b: str) -> float | None:
+    """Lowest one-way delay among the carriers connecting hosts a, b
+    (sum of fiber delays on each carrier's current route)."""
+    best: float | None = None
+    for carrier in internet.carriers(a, b):
+        if carrier == NATIVE:
+            continue  # design against owned footprints, not BGP paths
+        fibers = internet.fiber_route(a, b, carrier)
+        if not fibers:
+            continue
+        delay = sum(f.delay for f in fibers)
+        if best is None or delay < best:
+            best = delay
+    return best
+
+
+def _adjacency(internet: Internet, edges: Iterable[tuple[str, str]]) -> dict:
+    weighted = []
+    for a, b in edges:
+        delay = _best_carrier_delay(internet, a, b)
+        if delay is None:
+            raise ValueError(f"no carrier connects {a!r} and {b!r}")
+        weighted.append((a, b, delay))
+    return undirected(weighted)
+
+
+def _is_two_connected(adj: dict, nodes: list[str]) -> bool:
+    for i, src in enumerate(nodes):
+        for dst in nodes[i + 1 :]:
+            if len(node_disjoint_paths(adj, src, dst, 2)) < 2:
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class TopologyReport:
+    """Audit of one overlay design against the Sec II-A rules."""
+
+    nodes: int
+    links: int
+    max_link_delay: float
+    mean_link_delay: float
+    two_connected: bool
+    max_stretch: float  #: worst overlay-path delay / best direct delay
+    mean_stretch: float
+    clique_fraction: float  #: links / possible links (1.0 = clique)
+
+    def satisfies(self, max_link_delay: float, max_stretch: float) -> bool:
+        return (
+            self.two_connected
+            and self.max_link_delay <= max_link_delay
+            and self.max_stretch <= max_stretch
+            and self.clique_fraction < 1.0
+        )
+
+
+def audit_overlay(
+    internet: Internet,
+    sites: list[str],
+    edges: Iterable[tuple[str, str]],
+) -> TopologyReport:
+    """Score an overlay design over its underlay."""
+    edges = list(edges)
+    adj = _adjacency(internet, edges)
+    for site in sites:
+        adj.setdefault(site, {})
+    delays = [adj[a][b] for a, b in edges]
+    stretches = []
+    for i, src in enumerate(sites):
+        dist, __ = dijkstra(adj, src)
+        for dst in sites[i + 1 :]:
+            direct = _best_carrier_delay(internet, src, dst)
+            overlay_delay = dist.get(dst)
+            if direct is None or overlay_delay is None:
+                continue
+            stretches.append(overlay_delay / max(direct, 1e-9))
+    n = len(sites)
+    return TopologyReport(
+        nodes=n,
+        links=len(edges),
+        max_link_delay=max(delays) if delays else 0.0,
+        mean_link_delay=sum(delays) / len(delays) if delays else 0.0,
+        two_connected=_is_two_connected(adj, sites),
+        max_stretch=max(stretches) if stretches else 1.0,
+        mean_stretch=sum(stretches) / len(stretches) if stretches else 1.0,
+        clique_fraction=len(edges) / (n * (n - 1) / 2) if n > 1 else 0.0,
+    )
+
+
+def candidate_links(
+    internet: Internet, sites: list[str], max_link_delay: float
+) -> list[tuple[str, str]]:
+    """All site pairs connectable within the delay budget by some owned
+    carrier — the design search space."""
+    candidates = []
+    for i, a in enumerate(sites):
+        for b in sites[i + 1 :]:
+            delay = _best_carrier_delay(internet, a, b)
+            if delay is not None and delay <= max_link_delay:
+                candidates.append((a, b))
+    return candidates
+
+
+def design_overlay(
+    internet: Internet,
+    sites: list[str],
+    max_link_delay: float = 0.015,
+    max_stretch: float = 1.6,
+) -> list[tuple[str, str]]:
+    """Design an overlay topology per the Sec II-A rules.
+
+    Starts from every candidate link within ``max_link_delay`` and
+    greedily removes the *longest* links as long as the design stays
+    2-node-connected and no pair's path stretch (vs its best direct
+    carrier delay) exceeds ``max_stretch``. The result keeps short
+    links, redundancy everywhere, and far fewer links than a clique.
+    """
+    edges = candidate_links(internet, sites, max_link_delay)
+    if not edges:
+        raise ValueError("no candidate links within the delay budget")
+    adj = _adjacency(internet, edges)
+    if not _is_two_connected(adj, sites):
+        raise ValueError(
+            "the underlay cannot support a 2-connected overlay within "
+            f"{max_link_delay * 1000:.1f} ms links"
+        )
+    by_length = sorted(edges, key=lambda e: (-adj[e[0]][e[1]], e))
+    kept = set(edges)
+    for edge in by_length:
+        trial = [e for e in kept if e != edge]
+        report = audit_overlay(internet, sites, trial)
+        if report.two_connected and report.max_stretch <= max_stretch:
+            kept.discard(edge)
+    return sorted(kept)

@@ -1,0 +1,306 @@
+"""The multi-ISP Internet: hosts, carriers, and datagram delivery.
+
+Hosts (overlay nodes and clients live on hosts) attach to one or more
+ISP backbones — the paper's *multihoming*. A datagram is sent via a
+chosen **carrier**:
+
+* an ISP name — an *on-net* path staying inside that provider (both
+  hosts must be attached to it), routed by the ISP's own domain; or
+* :data:`NATIVE` — the end-to-end "native Internet" path crossing
+  providers through peering points, routed by an interdomain domain
+  whose tables take ~40 s to reconverge after a failure (the BGP
+  behaviour of Sec II-A).
+
+Physical fibers are shared between an ISP's domain and the interdomain
+domain, so one cut affects every path over that fiber.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.backbone import FiberLink, RoutingDomain
+from repro.net.loss import LossModel
+from repro.net.packet import Datagram
+from repro.sim.events import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Counter
+
+#: Carrier name selecting the end-to-end interdomain path.
+NATIVE = "native"
+
+#: Drop reasons reported to ``on_drop`` callbacks and counted.
+DROP_NO_ROUTE = "no-route"
+DROP_LINK = "link-loss"
+DROP_TTL = "ttl-exceeded"
+
+_MAX_HOPS = 64
+
+DeliverFn = Callable[[Datagram], None]
+DropFn = Callable[[Datagram, str], None]
+
+
+class Host:
+    """A machine at the edge of (or inside) a data center.
+
+    Attributes:
+        name: Unique host name.
+        attachments: ``{isp_name: router}`` — the data-center routers this
+            host is homed on.
+        access_delay: One-way host-to-router delay in seconds.
+    """
+
+    def __init__(self, name: str, access_delay: float = 0.0005) -> None:
+        self.name = name
+        self.access_delay = access_delay
+        self.attachments: dict[str, Any] = {}
+
+    @property
+    def primary_isp(self) -> str:
+        if not self.attachments:
+            raise RuntimeError(f"host {self.name} is not attached to any ISP")
+        return next(iter(self.attachments))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Host {self.name} @ {self.attachments}>"
+
+
+class Internet:
+    """Container for ISP domains, peering, hosts, and datagram delivery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rngs: RngRegistry,
+        native_convergence_delay: float = 40.0,
+    ) -> None:
+        self.sim = sim
+        self.rngs = rngs
+        self.native_convergence_delay = native_convergence_delay
+        self.isps: dict[str, RoutingDomain] = {}
+        self.hosts: dict[str, Host] = {}
+        self.counters = Counter()
+        self._peerings: list[tuple[str, Any, str, Any, FiberLink]] = []
+        self._native: RoutingDomain | None = None
+
+    # --------------------------------------------------------- building
+
+    def add_isp(self, name: str, convergence_delay: float = 10.0) -> RoutingDomain:
+        """Create an ISP backbone domain."""
+        if name == NATIVE:
+            raise ValueError(f"{NATIVE!r} is reserved for the interdomain carrier")
+        if name in self.isps:
+            raise ValueError(f"duplicate ISP {name!r}")
+        domain = RoutingDomain(name, self.sim, convergence_delay)
+        self.isps[name] = domain
+        self._native = None
+        return domain
+
+    def add_peering(
+        self,
+        isp_a: str,
+        router_a: Any,
+        isp_b: str,
+        router_b: Any,
+        delay: float = 0.0002,
+    ) -> FiberLink:
+        """Connect two ISPs at colocated routers (interdomain hand-off)."""
+        link = FiberLink(f"peer:{isp_a}:{router_a}~{isp_b}:{router_b}", delay)
+        self._peerings.append((isp_a, router_a, isp_b, router_b, link))
+        self._native = None
+        return link
+
+    def add_host(self, name: str, access_delay: float = 0.0005) -> Host:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host {name!r}")
+        host = Host(name, access_delay)
+        self.hosts[name] = host
+        return host
+
+    def attach(self, host_name: str, isp: str, router: Any) -> None:
+        """Home ``host_name`` on ``router`` of ``isp`` (multihoming = call
+        once per provider)."""
+        host = self.hosts[host_name]
+        domain = self.isps[isp]
+        if router not in domain._adj:
+            domain.add_router(router)
+        host.attachments[isp] = router
+
+    @property
+    def native(self) -> RoutingDomain:
+        """The interdomain routing domain (built lazily)."""
+        if self._native is None:
+            self._native = self._build_native()
+        return self._native
+
+    def _build_native(self) -> RoutingDomain:
+        domain = RoutingDomain(NATIVE, self.sim, self.native_convergence_delay)
+        from repro.net.backbone import FWD
+
+        for isp_name, isp in self.isps.items():
+            for u, nbrs in isp._adj.items():
+                for v, (link, direction) in nbrs.items():
+                    if direction == FWD:
+                        domain.add_link_object((isp_name, u), (isp_name, v), link)
+        for isp_a, ra, isp_b, rb, link in self._peerings:
+            domain.add_link_object((isp_a, ra), (isp_b, rb), link)
+        return domain
+
+    # -------------------------------------------------------- carriers
+
+    def carriers(self, src: str, dst: str) -> list[str]:
+        """Carriers usable between two hosts: shared ISPs (on-net, in
+        attachment order) followed by :data:`NATIVE`."""
+        a, b = self.hosts[src], self.hosts[dst]
+        shared = [isp for isp in a.attachments if isp in b.attachments]
+        return shared + [NATIVE]
+
+    def _resolve(self, src: str, dst: str, carrier: str):
+        a, b = self.hosts[src], self.hosts[dst]
+        if carrier == NATIVE:
+            src_label = (a.primary_isp, a.attachments[a.primary_isp])
+            dst_label = (b.primary_isp, b.attachments[b.primary_isp])
+            return self.native, src_label, dst_label
+        if carrier not in a.attachments or carrier not in b.attachments:
+            raise ValueError(
+                f"carrier {carrier!r} does not connect {src!r} and {dst!r}"
+            )
+        return self.isps[carrier], a.attachments[carrier], b.attachments[carrier]
+
+    def current_route(self, src: str, dst: str, carrier: str) -> list | None:
+        """Router labels the carrier would use right now (None if no route)."""
+        domain, s, d = self._resolve(src, dst, carrier)
+        return domain.current_path(s, d)
+
+    def fiber_route(self, src: str, dst: str, carrier: str) -> list[FiberLink]:
+        """The fiber objects along the current route (for disjointness
+        audits). Empty if there is no route."""
+        path = self.current_route(src, dst, carrier)
+        if not path or len(path) < 2:
+            return []
+        domain, __, __ = self._resolve(src, dst, carrier)
+        return [domain.link_on_path(u, v)[0] for u, v in zip(path, path[1:])]
+
+    # -------------------------------------------------------- failures
+
+    def fail_fiber(self, isp: str, a: Any, b: Any) -> None:
+        """Cut a fiber. The owning ISP reconverges on its own schedule;
+        the interdomain tables reconverge on the (slower) BGP schedule."""
+        self.isps[isp].fail_link(a, b)
+        if self._native is not None:
+            self._native.notify_topology_changed()
+
+    def repair_fiber(self, isp: str, a: Any, b: Any) -> None:
+        self.isps[isp].repair_link(a, b)
+        if self._native is not None:
+            self._native.notify_topology_changed()
+
+    def fail_site(self, router: Any) -> list[tuple[str, Any, Any]]:
+        """A whole data center goes dark: every fiber touching
+        ``router`` fails in every ISP (Fig 1's strongest failure mode
+        short of partition). Returns the (isp, a, b) triples cut, for
+        symmetric repair."""
+        cut = []
+        for isp_name, isp in self.isps.items():
+            for nbr in list(isp._adj.get(router, {})):
+                link = isp.link_between(router, nbr)
+                if link is not None and not link.failed:
+                    isp.fail_link(router, nbr)
+                    cut.append((isp_name, router, nbr))
+        if self._native is not None and cut:
+            self._native.notify_topology_changed()
+        return cut
+
+    def repair_site(self, cut: list[tuple[str, Any, Any]]) -> None:
+        """Undo a :meth:`fail_site` (pass its return value)."""
+        for isp, a, b in cut:
+            self.isps[isp].repair_link(a, b)
+        if self._native is not None and cut:
+            self._native.notify_topology_changed()
+
+    def set_isp_loss(self, isp: str, factory: Callable[[], LossModel]) -> None:
+        """Give every fiber of ``isp`` a fresh loss model from ``factory``
+        (models are stateful, hence one instance per link)."""
+        for link in self.isps[isp].links():
+            link.loss = factory()
+
+    # --------------------------------------------------------- sending
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        size: int,
+        carrier: str,
+        on_deliver: DeliverFn,
+        on_drop: DropFn | None = None,
+    ) -> Datagram:
+        """Inject a datagram; ``on_deliver(datagram)`` fires at the
+        destination host if it survives, ``on_drop(datagram, reason)``
+        (if given) fires when it dies."""
+        domain, src_label, dst_label = self._resolve(src, dst, carrier)
+        datagram = Datagram(src, dst, payload, size, sent_at=self.sim.now)
+        self.counters.add("datagrams-sent")
+        self.counters.add("bytes-sent", datagram.wire_size)
+        src_host = self.hosts[src]
+        self.sim.schedule(
+            src_host.access_delay,
+            self._hop,
+            domain,
+            src_label,
+            dst_label,
+            datagram,
+            on_deliver,
+            on_drop,
+            0,
+        )
+        return datagram
+
+    def _hop(
+        self,
+        domain: RoutingDomain,
+        router: Any,
+        dst_label: Any,
+        datagram: Datagram,
+        on_deliver: DeliverFn,
+        on_drop: DropFn | None,
+        hops: int,
+    ) -> None:
+        if router == dst_label:
+            dst_host = self.hosts[datagram.dst]
+            self.sim.schedule(dst_host.access_delay, self._deliver, datagram, on_deliver)
+            return
+        if hops >= _MAX_HOPS:
+            self._drop(datagram, DROP_TTL, on_drop)
+            return
+        nxt = domain.next_hop(router, dst_label)
+        if nxt is None:
+            self._drop(datagram, DROP_NO_ROUTE, on_drop)
+            return
+        link, direction = domain.link_on_path(router, nxt)
+        rng = self.rngs.stream(f"loss:{link.name}")
+        arrival = link.traverse(self.sim.now, datagram.wire_size, direction, rng)
+        if arrival is None:
+            self._drop(datagram, DROP_LINK, on_drop)
+            return
+        self.sim.schedule_at(
+            arrival,
+            self._hop,
+            domain,
+            nxt,
+            dst_label,
+            datagram,
+            on_deliver,
+            on_drop,
+            hops + 1,
+        )
+
+    def _deliver(self, datagram: Datagram, on_deliver: DeliverFn) -> None:
+        self.counters.add("datagrams-delivered")
+        on_deliver(datagram)
+
+    def _drop(self, datagram: Datagram, reason: str, on_drop: DropFn | None) -> None:
+        self.counters.add(f"drop:{reason}")
+        if on_drop is not None:
+            on_drop(datagram, reason)

@@ -1,0 +1,196 @@
+"""Evaluation topologies.
+
+The paper's deployments place a few tens of overlay nodes in
+well-provisioned data centers roughly 10 ms apart, multihomed on
+several ISP backbones (Fig 1). We model a stylized version of that:
+a 12-city continental-US map with fiber delays derived from great-circle
+distances (times a fiber-route factor), realized as two or three ISP
+backbones with partially different fiber footprints, peering at the
+major cities.
+
+Also provided: the 5×10 ms chain of Fig 3 and small synthetic graphs
+for tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.net.internet import Internet
+from repro.net.loss import LossModel
+from repro.sim.events import Simulator
+from repro.sim.rng import RngRegistry
+
+#: Speed of light in fiber, km/s.
+FIBER_KM_PER_S = 200_000.0
+
+#: Fiber routes are not great circles; typical route factor.
+FIBER_ROUTE_FACTOR = 1.3
+
+#: (latitude, longitude) of the 12 data-center cities.
+US_CITIES: dict[str, tuple[float, float]] = {
+    "SEA": (47.61, -122.33),
+    "SFO": (37.77, -122.42),
+    "LAX": (34.05, -118.24),
+    "DEN": (39.74, -104.99),
+    "DAL": (32.78, -96.80),
+    "CHI": (41.88, -87.63),
+    "STL": (38.63, -90.20),
+    "ATL": (33.75, -84.39),
+    "MIA": (25.76, -80.19),
+    "WAS": (38.91, -77.04),
+    "NYC": (40.71, -74.01),
+    "BOS": (42.36, -71.06),
+}
+
+#: Stylized fiber footprints: per ISP, the list of directly-connected
+#: city pairs. The two footprints overlap but are not identical, which
+#: gives the overlay physically disjoint alternatives (Sec II-A).
+ISP_FOOTPRINTS: dict[str, list[tuple[str, str]]] = {
+    "ispA": [
+        ("SEA", "SFO"), ("SEA", "DEN"), ("SFO", "LAX"), ("LAX", "DAL"),
+        ("LAX", "DEN"), ("DEN", "CHI"), ("DEN", "DAL"), ("DAL", "STL"),
+        ("DAL", "ATL"), ("STL", "CHI"), ("STL", "ATL"), ("CHI", "NYC"),
+        ("CHI", "WAS"), ("ATL", "MIA"), ("ATL", "WAS"), ("WAS", "NYC"),
+        ("NYC", "BOS"), ("MIA", "WAS"), ("CHI", "BOS"),
+    ],
+    "ispB": [
+        ("SEA", "SFO"), ("SEA", "DEN"), ("SFO", "DEN"), ("SFO", "LAX"),
+        ("LAX", "DAL"), ("DEN", "DAL"), ("DEN", "CHI"), ("DAL", "ATL"),
+        ("DAL", "STL"), ("STL", "CHI"), ("STL", "WAS"), ("ATL", "MIA"),
+        ("ATL", "WAS"), ("WAS", "NYC"), ("NYC", "BOS"), ("CHI", "NYC"),
+        ("MIA", "WAS"), ("CHI", "BOS"),
+    ],
+    "ispC": [
+        ("SEA", "SFO"), ("SEA", "DEN"), ("SFO", "LAX"), ("SFO", "DEN"),
+        ("LAX", "DEN"), ("DEN", "DAL"), ("DEN", "STL"), ("DAL", "ATL"),
+        ("STL", "CHI"), ("STL", "ATL"), ("CHI", "BOS"), ("CHI", "NYC"),
+        ("ATL", "WAS"), ("ATL", "MIA"), ("MIA", "WAS"), ("WAS", "NYC"),
+        ("NYC", "BOS"),
+    ],
+}
+
+#: Overlay links of the continental overlay: city pairs adjacent in any
+#: footprint (keeps overlay hops ~10 ms, per Sec II-A; not a clique).
+def overlay_edges(isps: list[str] | None = None) -> list[tuple[str, str]]:
+    """City pairs that form overlay links (adjacent in some footprint)."""
+    names = isps if isps is not None else list(ISP_FOOTPRINTS)
+    edges: set[frozenset] = set()
+    for isp in names:
+        for a, b in ISP_FOOTPRINTS[isp]:
+            edges.add(frozenset((a, b)))
+    return sorted((tuple(sorted(e)) for e in edges))
+
+
+def haversine_km(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Great-circle distance in km between two (lat, lon) points."""
+    lat1, lon1 = map(math.radians, a)
+    lat2, lon2 = map(math.radians, b)
+    dlat, dlon = lat2 - lat1, lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * 6371.0 * math.asin(math.sqrt(h))
+
+
+def city_link_delay(a: str, b: str) -> float:
+    """One-way fiber propagation delay between two cities, seconds."""
+    km = haversine_km(US_CITIES[a], US_CITIES[b]) * FIBER_ROUTE_FACTOR
+    return km / FIBER_KM_PER_S
+
+
+LossFactory = Callable[[], LossModel]
+
+
+def continental_internet(
+    sim: Simulator,
+    rngs: RngRegistry,
+    isps: list[str] | None = None,
+    loss_factory: LossFactory | None = None,
+    capacity_bps: float | None = None,
+    isp_convergence_delay: float = 10.0,
+    native_convergence_delay: float = 40.0,
+    jitter: float = 0.0,
+) -> Internet:
+    """Build the 12-city, multi-ISP evaluation Internet.
+
+    Creates one host per city named ``site-<CITY>`` attached to every
+    requested ISP at that city, and peering links between every pair of
+    ISPs at every city. ``loss_factory`` (if given) supplies a fresh loss
+    model per fiber.
+    """
+    names = isps if isps is not None else ["ispA", "ispB"]
+    inet = Internet(sim, rngs, native_convergence_delay)
+    for isp in names:
+        domain = inet.add_isp(isp, convergence_delay=isp_convergence_delay)
+        for city in US_CITIES:
+            domain.add_router(city)
+        for a, b in ISP_FOOTPRINTS[isp]:
+            loss = loss_factory() if loss_factory is not None else None
+            domain.add_link(a, b, city_link_delay(a, b), capacity_bps, loss,
+                            jitter=jitter)
+    for i, isp_a in enumerate(names):
+        for isp_b in names[i + 1 :]:
+            for city in US_CITIES:
+                inet.add_peering(isp_a, city, isp_b, city)
+    for city in US_CITIES:
+        inet.add_host(f"site-{city}")
+        for isp in names:
+            inet.attach(f"site-{city}", isp, city)
+    return inet
+
+
+def site_name(city: str) -> str:
+    """Host name of a continental site."""
+    return f"site-{city}"
+
+
+def line_internet(
+    sim: Simulator,
+    rngs: RngRegistry,
+    n_hops: int = 5,
+    hop_delay: float = 0.010,
+    loss_factory: LossFactory | None = None,
+    capacity_bps: float | None = None,
+    isp_convergence_delay: float = 10.0,
+    jitter: float = 0.0,
+) -> Internet:
+    """The Fig 3 fabric: a single ISP that is a chain of ``n_hops`` fibers
+    of ``hop_delay`` seconds each, with a host ``h0 .. h<n>`` at every
+    router. The end-to-end path ``h0 -> h<n>`` crosses all fibers
+    (summing to ``n_hops * hop_delay``); placing overlay nodes at every
+    host turns it into ``n_hops`` short overlay links.
+    """
+    if n_hops < 1:
+        raise ValueError("need at least one hop")
+    inet = Internet(sim, rngs)
+    domain = inet.add_isp("line", convergence_delay=isp_convergence_delay)
+    for i in range(n_hops + 1):
+        domain.add_router(f"r{i}")
+    for i in range(n_hops):
+        loss = loss_factory() if loss_factory is not None else None
+        domain.add_link(f"r{i}", f"r{i + 1}", hop_delay, capacity_bps, loss,
+                        jitter=jitter)
+    for i in range(n_hops + 1):
+        inet.add_host(f"h{i}", access_delay=0.0)
+        inet.attach(f"h{i}", "line", f"r{i}")
+    return inet
+
+
+def triangle_internet(
+    sim: Simulator,
+    rngs: RngRegistry,
+    leg_delay: float = 0.010,
+    loss_factory: LossFactory | None = None,
+) -> Internet:
+    """A minimal 3-site, single-ISP triangle used by unit tests."""
+    inet = Internet(sim, rngs)
+    domain = inet.add_isp("tri", convergence_delay=5.0)
+    for r in ("x", "y", "z"):
+        domain.add_router(r)
+    for a, b in (("x", "y"), ("y", "z"), ("x", "z")):
+        loss = loss_factory() if loss_factory is not None else None
+        domain.add_link(a, b, leg_delay, None, loss)
+    for r in ("x", "y", "z"):
+        inet.add_host(f"h{r}", access_delay=0.0)
+        inet.attach(f"h{r}", "tri", r)
+    return inet

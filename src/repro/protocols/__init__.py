@@ -1,0 +1,87 @@
+"""Link-level protocols (Fig 2, bottom level).
+
+One protocol instance exists per (neighbor, protocol) pair on each
+node; flows selecting the same protocol toward the same neighbor share
+it (aggregate-flow processing, Sec II-C). The family:
+
+* ``best-effort`` — stateless forwarding (the Internet's own service).
+* ``reliable`` — hop-by-hop ARQ with out-of-order forwarding [4]
+  (Reliable Data Link; the Fig 3 experiment).
+* ``realtime`` — bounded, single-shot recovery for audio-class traffic.
+* ``nm-strikes`` — N spaced requests x M spaced retransmissions under a
+  deadline (Fig 4; live TV).
+* ``single-strike`` — the 1x1 predecessor [6, 7] (remote manipulation).
+* ``it-priority`` / ``it-reliable`` — intrusion-tolerant fair messaging
+  with per-source / per-flow buffers and round-robin scheduling [1].
+* ``fifo`` — a shared drop-tail queue; the *baseline* the IT protocols
+  are evaluated against.
+* ``fec`` — an extension protocol (OverQoS-style XOR parity, Sec VI):
+  zero-round-trip recovery of single losses per block.
+
+New protocols are added by registering a :class:`LinkProtocol` subclass
+— the extensibility the paper's software architecture is designed for.
+"""
+
+from repro.protocols.base import LinkProtocol
+from repro.protocols.best_effort import BestEffortProtocol
+from repro.protocols.fec import FecProtocol
+from repro.protocols.fifo import FifoProtocol
+from repro.protocols.it_priority import ITPriorityProtocol
+from repro.protocols.it_reliable import ITReliableProtocol
+from repro.protocols.realtime import RealtimeProtocol
+from repro.protocols.reliable import ReliableLinkProtocol
+from repro.protocols.strikes import NMStrikesProtocol, SingleStrikeProtocol
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_protocol(cls: type) -> type:
+    """Register a protocol class under ``cls.name`` (extension point)."""
+    if not getattr(cls, "name", None):
+        raise ValueError(f"{cls!r} has no protocol name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_protocol(name: str, node, link) -> LinkProtocol:
+    """Instantiate the protocol ``name`` for (node, link)."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown link protocol {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name](node, link)
+
+
+def registered_protocols() -> list[str]:
+    """Names of all currently registered link protocols."""
+    return sorted(_REGISTRY)
+
+
+for _cls in (
+    BestEffortProtocol,
+    ReliableLinkProtocol,
+    RealtimeProtocol,
+    NMStrikesProtocol,
+    SingleStrikeProtocol,
+    ITPriorityProtocol,
+    ITReliableProtocol,
+    FifoProtocol,
+    FecProtocol,
+):
+    register_protocol(_cls)
+
+__all__ = [
+    "LinkProtocol",
+    "create_protocol",
+    "register_protocol",
+    "registered_protocols",
+    "BestEffortProtocol",
+    "ReliableLinkProtocol",
+    "RealtimeProtocol",
+    "NMStrikesProtocol",
+    "SingleStrikeProtocol",
+    "ITPriorityProtocol",
+    "ITReliableProtocol",
+    "FifoProtocol",
+    "FecProtocol",
+]

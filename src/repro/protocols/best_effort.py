@@ -1,0 +1,25 @@
+"""Best-effort link protocol: what the native Internet gives you.
+
+No recovery, no state — every message becomes exactly one frame. Used
+directly by loss-tolerant flows and as the baseline against which every
+recovery protocol in the paper is measured.
+"""
+
+from __future__ import annotations
+
+from repro.core.message import Frame, OverlayMessage
+from repro.protocols.base import LinkProtocol
+
+
+class BestEffortProtocol(LinkProtocol):
+    """Stateless per-link forwarding."""
+
+    name = "best-effort"
+
+    def send(self, msg: OverlayMessage) -> bool:
+        self.transmit("data", msg)
+        return True
+
+    def on_frame(self, frame: Frame) -> None:
+        if frame.ftype == "data" and frame.msg is not None:
+            self.deliver_up(frame.msg)

@@ -1,0 +1,49 @@
+"""FIFO drop-tail link protocol — the fairness *baseline* (Sec IV-B).
+
+One shared queue for all sources and flows, drop-tail when full: the
+behaviour of a plain router queue. Under a resource-consumption attack
+a flooding source fills the shared queue and starves everyone — which
+is precisely what the intrusion-tolerant Priority/Reliable protocols'
+per-source buffers and round-robin scheduling prevent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.message import Frame, OverlayMessage
+from repro.protocols.base import LinkProtocol, PacedSender
+
+#: Shared queue bound (messages).
+QUEUE_CAP = 256
+
+
+class FifoProtocol(LinkProtocol):
+    """Single shared drop-tail queue, paced at the access capacity."""
+
+    name = "fifo"
+
+    def __init__(self, node, link) -> None:
+        super().__init__(node, link)
+        self._queue: deque[OverlayMessage] = deque()
+        self._pacer = PacedSender(
+            self.sim, self.config.access_capacity_bps, self._dequeue
+        )
+
+    def send(self, msg: OverlayMessage) -> bool:
+        if len(self._queue) >= QUEUE_CAP:
+            self.counters.add("fifo-dropped")
+            return True  # drop-tail: silently lost, like a router queue
+        self._queue.append(msg)
+        self._pacer.kick()
+        return True
+
+    def _dequeue(self):
+        if not self._queue:
+            return None
+        msg = self._queue.popleft()
+        return (msg.wire_size, lambda m=msg: self.transmit("data", m))
+
+    def on_frame(self, frame: Frame) -> None:
+        if frame.ftype == "data" and frame.msg is not None:
+            self.deliver_up(frame.msg)

@@ -1,0 +1,166 @@
+"""Intrusion-tolerant Reliable messaging (Sec IV-B, [1]).
+
+Complete end-to-end reliability for control-class traffic, fair under
+attack: storage is per source-*destination* flow (so a compromised
+destination that stops consuming blocks only its own flow), outgoing
+links serve active flows round-robin, and when a flow's storage fills,
+the protocol stops accepting new messages for it — backpressure that
+propagates hop by hop all the way back to the source client.
+
+Mechanics: per-flow sequence numbers, per-message acks that the
+receiver sends only after the message has been *accepted downstream*
+(by the next link's queue or by local delivery), a bounded in-flight
+window per flow, and RTO-based retransmission.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.message import Frame, OverlayMessage
+from repro.protocols.base import DoneFn, LinkProtocol, PacedSender
+
+#: Max unacknowledged messages per flow (in flight on the wire).
+WINDOW = 32
+
+#: Max queued-but-unsent messages per flow; beyond this, backpressure.
+QUEUE_CAP = 64
+
+#: Retransmission scan period factor (times link RTT).
+RTO_FACTOR = 2.0
+
+
+class ITReliableProtocol(LinkProtocol):
+    """Per-flow buffers + round-robin + hop-by-hop backpressure."""
+
+    name = "it-reliable"
+    supports_backpressure = True
+
+    def __init__(self, node, link) -> None:
+        super().__init__(node, link)
+        self.verify_delay = self.config.crypto_verify_delay
+        # Sender state.
+        self._queues: dict[str, deque[OverlayMessage]] = {}
+        self._rr: deque[str] = deque()
+        self._next_fseq: dict[str, int] = {}
+        self._inflight: dict[str, int] = {}
+        self._unacked: dict[tuple[str, int], tuple[OverlayMessage, float]] = {}
+        self._space_waiters: list[DoneFn] = []
+        self._rto_event = None
+        self._pacer = PacedSender(
+            self.sim, self.config.access_capacity_bps, self._dequeue
+        )
+        # Receiver state: (flow, fseq) -> "pending" | "acked".
+        self._rcv_state: dict[tuple[str, int], str] = {}
+
+    # ------------------------------------------------------------ sender
+
+    def send(self, msg: OverlayMessage) -> bool:
+        queue = self._queues.get(msg.flow)
+        if queue is None:
+            queue = deque()
+            self._queues[msg.flow] = queue
+            self._rr.append(msg.flow)
+        if len(queue) >= QUEUE_CAP:
+            self.counters.add("it-reliable-backpressure")
+            return False
+        queue.append(msg)
+        self._pacer.kick()
+        return True
+
+    def when_space(self, callback: DoneFn) -> None:
+        self._space_waiters.append(callback)
+
+    def _dequeue(self):
+        """Round-robin across flows that have queued messages *and* open
+        window."""
+        for __ in range(len(self._rr)):
+            flow = self._rr[0]
+            self._rr.rotate(-1)
+            queue = self._queues.get(flow)
+            if not queue or self._inflight.get(flow, 0) >= WINDOW:
+                continue
+            msg = queue.popleft()
+            fseq = self._next_fseq.get(flow, 0)
+            self._next_fseq[flow] = fseq + 1
+            self._inflight[flow] = self._inflight.get(flow, 0) + 1
+            self._unacked[(flow, fseq)] = (msg, self.sim.now)
+            self._arm_rto()
+            self._notify_space()
+            return (
+                msg.wire_size,
+                lambda m=msg, f=flow, s=fseq: self.transmit(
+                    "data", m, info={"flow": f, "fseq": s}
+                ),
+            )
+        return None
+
+    def _notify_space(self) -> None:
+        if not self._space_waiters:
+            return
+        waiters = self._space_waiters
+        self._space_waiters = []
+        for waiter in waiters:
+            waiter()
+
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None and not self._rto_event.cancelled:
+            return
+        rto = max(0.01, RTO_FACTOR * self.link.rtt)
+        self._rto_event = self.sim.schedule(rto, self._rto_scan)
+
+    def _rto_scan(self) -> None:
+        self._rto_event = None
+        if not self._unacked:
+            return
+        rto = max(0.01, RTO_FACTOR * self.link.rtt)
+        horizon = self.sim.now - rto
+        for (flow, fseq), (msg, sent_at) in list(self._unacked.items()):
+            if sent_at <= horizon:
+                self.counters.add("it-reliable-retransmit")
+                self._unacked[(flow, fseq)] = (msg, self.sim.now)
+                self.transmit("data", msg, info={"flow": flow, "fseq": fseq})
+        self._arm_rto()
+
+    def _on_ack(self, flow: str, fseq: int) -> None:
+        if self._unacked.pop((flow, fseq), None) is None:
+            return
+        self._inflight[flow] = max(0, self._inflight.get(flow, 0) - 1)
+        self._pacer.kick()
+
+    # ---------------------------------------------------------- receiver
+
+    def on_frame(self, frame: Frame) -> None:
+        if not self.epoch_guard(frame):
+            return
+        if frame.ftype == "data" and frame.msg is not None:
+            self._on_data(frame)
+        elif frame.ftype == "ack":
+            self._on_ack(frame.info["flow"], frame.info["fseq"])
+
+    def reset_peer_state(self) -> None:
+        """The peer restarted: its per-flow sequence spaces are fresh,
+        so our memory of what we already acked no longer applies."""
+        self._rcv_state.clear()
+
+    def _on_data(self, frame: Frame) -> None:
+        key = (frame.info["flow"], frame.info["fseq"])
+        state = self._rcv_state.get(key)
+        if state == "acked":
+            # Our ack was lost; repeat it.
+            self.transmit("ack", info={"flow": key[0], "fseq": key[1]})
+            return
+        if state == "pending":
+            return  # Still waiting for downstream acceptance.
+        self._rcv_state[key] = "pending"
+        self.deliver_up(frame.msg, done=lambda: self._accepted(key))
+
+    def _accepted(self, key: tuple[str, int]) -> None:
+        """Downstream (next link's queue, or the local session) took the
+        message — only now do we release the upstream sender's window."""
+        self._rcv_state[key] = "acked"
+        self.transmit("ack", info={"flow": key[0], "fseq": key[1]})
+        if len(self._rcv_state) > 100_000:
+            acked = [k for k, v in self._rcv_state.items() if v == "acked"]
+            for k in acked[: len(acked) // 2]:
+                del self._rcv_state[k]

@@ -1,0 +1,184 @@
+"""The NM-Strikes real-time recovery protocol (Fig 4, Sec IV-A) and its
+single-request predecessor [6, 7] (Sec V-A).
+
+NM-Strikes guarantees complete *timeliness* (never blocks delivery)
+while recovering most losses within a deadline. On detecting a gap, the
+receiver schedules **N** retransmission requests for each missing
+packet, spaced in time to step over the correlated-loss window; the
+sender, on the *first* request, schedules **M** retransmissions, also
+spaced. Receiving the packet cancels any remaining scheduled requests.
+Worst-case overhead on the sender-to-receiver direction is ``1 + M*p``
+for loss rate ``p``.
+
+``single-strike`` is the same machinery with N = M = 1 — one request,
+one retransmission — used when the deadline is too tight for multiple
+strikes (remote manipulation, Sec V-A), typically combined with
+redundant dissemination graphs.
+"""
+
+from __future__ import annotations
+
+from repro.core.message import Frame, OverlayMessage
+from repro.protocols.base import LinkProtocol
+from repro.sim.events import Event
+
+#: Receiver-side gap-detection delay before the first request.
+DETECTION_DELAY = 0.001
+
+#: Bound on sender retransmission buffer (messages).
+SEND_BUFFER = 8192
+
+#: Bound on concurrently tracked missing packets.
+MAX_MISSING = 1024
+
+
+class NMStrikesProtocol(LinkProtocol):
+    """N requests x M retransmissions under a deadline budget.
+
+    Per-flow tunables (``ServiceSpec`` params, falling back to
+    ``OverlayConfig.protocol_defaults["nm-strikes"]``):
+
+    * ``n`` — number of spaced requests (default 3),
+    * ``m`` — number of spaced retransmissions (default 2),
+    * ``req_spacing`` / ``retr_spacing`` — seconds between strikes
+      (default 0.02; "spaced out as much as possible, but not so much
+      that the deadline is not met").
+    """
+
+    name = "nm-strikes"
+    default_n = 3
+    default_m = 2
+
+    def __init__(self, node, link) -> None:
+        super().__init__(node, link)
+        # Sender state.
+        self._next_seq = 0
+        self._buffer: dict[int, OverlayMessage] = {}
+        self._order: list[int] = []
+        self._retrans_scheduled: set[int] = set()
+        # Receiver state.
+        self._max_seen = -1
+        self._floor = 0  # seqs below this are forgotten
+        self._received: set[int] = set()
+        self._pending_requests: dict[int, list[Event]] = {}
+
+    # ------------------------------------------------------------ sender
+
+    def send(self, msg: OverlayMessage) -> bool:
+        seq = self._next_seq
+        self._next_seq += 1
+        self._buffer[seq] = msg
+        self._order.append(seq)
+        if len(self._order) > SEND_BUFFER:
+            drop = self._order[: len(self._order) // 2]
+            del self._order[: len(self._order) // 2]
+            for old in drop:
+                self._buffer.pop(old, None)
+                self._retrans_scheduled.discard(old)
+        self.transmit("data", msg, link_seq=seq)
+        return True
+
+    def _on_request(self, frame: Frame) -> None:
+        seq = frame.info["seq"]
+        msg = self._buffer.get(seq)
+        if msg is None:
+            return
+        if seq in self._retrans_scheduled:
+            # M retransmissions already scheduled by the first request.
+            return
+        self._retrans_scheduled.add(seq)
+        m = self.param(msg, "m", self.default_m)
+        spacing = self.param(msg, "retr_spacing", 0.02)
+        for i in range(m):
+            self.sim.schedule(i * spacing, self._retransmit, seq)
+
+    def _retransmit(self, seq: int) -> None:
+        msg = self._buffer.get(seq)
+        if msg is None:
+            return
+        self.counters.add("strikes-retransmit")
+        self.transmit("retrans", msg, link_seq=seq)
+
+    # ---------------------------------------------------------- receiver
+
+    def on_frame(self, frame: Frame) -> None:
+        if not self.epoch_guard(frame):
+            return
+        if frame.ftype in ("data", "retrans"):
+            self._on_data(frame)
+        elif frame.ftype == "req":
+            self._on_request(frame)
+
+    def reset_peer_state(self) -> None:
+        self._max_seen = -1
+        self._floor = 0
+        self._received.clear()
+        for seq in list(self._pending_requests):
+            self._cancel_requests(seq)
+
+    def _on_data(self, frame: Frame) -> None:
+        seq = frame.link_seq
+        if self._max_seen == -1 and seq > 32:
+            # Joined an existing stream mid-flight (fresh instance):
+            # sync instead of requesting the entire history.
+            self._max_seen = seq - 1
+            self._floor = seq
+        if seq < self._floor or seq in self._received:
+            self.counters.add("strikes-duplicate")
+            return
+        self._received.add(seq)
+        self._cancel_requests(seq)
+        if frame.msg is None:
+            return
+        if seq > self._max_seen:
+            # Schedule N spaced requests for every newly discovered gap.
+            for missing in range(self._max_seen + 1, seq):
+                self._schedule_requests(missing, frame.msg)
+            self._max_seen = seq
+        self.deliver_up(frame.msg)
+        self._compact()
+
+    def _schedule_requests(self, seq: int, context_msg: OverlayMessage) -> None:
+        if len(self._pending_requests) >= MAX_MISSING:
+            return
+        n = self.param(context_msg, "n", self.default_n)
+        spacing = self.param(context_msg, "req_spacing", 0.02)
+        events = [
+            self.sim.schedule(DETECTION_DELAY + i * spacing, self._send_request, seq)
+            for i in range(n)
+        ]
+        self._pending_requests[seq] = events
+
+    def _send_request(self, seq: int) -> None:
+        if seq in self._received:
+            return
+        self.counters.add("strikes-request")
+        self.transmit("req", info={"seq": seq})
+
+    def _cancel_requests(self, seq: int) -> None:
+        events = self._pending_requests.pop(seq, None)
+        if events is None:
+            return
+        for event in events:
+            event.cancel()
+
+    def _compact(self) -> None:
+        """Forget ancient receiver state (timeliness means nothing older
+        than a deadline's worth of packets matters)."""
+        if len(self._received) <= 4 * SEND_BUFFER:
+            return
+        new_floor = self._max_seen - SEND_BUFFER
+        self._received = {s for s in self._received if s >= new_floor}
+        for seq in [s for s in self._pending_requests if s < new_floor]:
+            self._cancel_requests(seq)
+        self._floor = new_floor
+
+
+class SingleStrikeProtocol(NMStrikesProtocol):
+    """One request, one retransmission — the 1-800-OVERLAYS VoIP
+    protocol [6, 7]; the building block for real-time remote
+    manipulation when combined with dissemination graphs (Sec V-A)."""
+
+    name = "single-strike"
+    default_n = 1
+    default_m = 1

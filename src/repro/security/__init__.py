@@ -1,0 +1,29 @@
+"""Security substrate: simulated authentication and adversary models.
+
+The paper's intrusion-tolerant services (Sec IV-B, V-B) assume each
+overlay node knows the identities of all valid nodes and authenticates
+every message; the open threat is a *compromised* node that holds valid
+credentials. :mod:`repro.security.crypto` models authentication cost
+and unforgeability; :mod:`repro.security.adversary` provides the
+compromised-node behaviours the experiments inject.
+"""
+
+from repro.security.adversary import (
+    Blackhole,
+    DelayInjector,
+    Duplicator,
+    NodeBehavior,
+    SelectiveDropper,
+)
+from repro.security.crypto import AuthToken, Authenticator, KeyStore
+
+__all__ = [
+    "NodeBehavior",
+    "Blackhole",
+    "SelectiveDropper",
+    "DelayInjector",
+    "Duplicator",
+    "AuthToken",
+    "Authenticator",
+    "KeyStore",
+]

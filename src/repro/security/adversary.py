@@ -1,0 +1,116 @@
+"""Compromised-node behaviours (Sec IV-B threat model).
+
+A compromised overlay node holds valid credentials: it participates in
+hellos and routing (so it looks alive) but may drop, delay, or
+duplicate the data it should forward, or flood to consume resources.
+Behaviours hook into two points of :class:`~repro.core.node.OverlayNode`:
+
+* ``on_receive_frame(node, frame) -> bool`` — return False to swallow
+  an incoming frame before any processing;
+* ``on_forward(node, msg, nbr) -> bool`` — return False to drop a data
+  message the routing level decided to send to ``nbr`` (the node *lies*
+  upstream that it accepted the message).
+
+The redundant dissemination schemes (k disjoint paths, constrained
+flooding, dissemination graphs) are measured against these behaviours
+in experiment E5; the fair-scheduling schemes against flooding sources
+in E6.
+"""
+
+from __future__ import annotations
+
+from repro.core.message import Frame, OverlayMessage
+
+
+class NodeBehavior:
+    """Base behaviour: a correct node (hooks allow everything)."""
+
+    def on_receive_frame(self, node, frame: Frame) -> bool:
+        return True
+
+    def on_forward(self, node, msg: OverlayMessage, nbr: str) -> bool:
+        return True
+
+
+class Blackhole(NodeBehavior):
+    """Forwards nothing (data plane), while control traffic flows so the
+    node keeps looking healthy to the connectivity graph — the worst
+    case for routing schemes that trust a single path."""
+
+    def on_forward(self, node, msg: OverlayMessage, nbr: str) -> bool:
+        return False
+
+
+class SelectiveDropper(NodeBehavior):
+    """Drops data for selected flows/sources/destinations only, which is
+    harder to detect than a blackhole.
+
+    Args:
+        flows: Flow-id substrings to kill (None = match all).
+        victim_sources: Source node ids to kill (None = match all).
+        drop_fraction: Probability of dropping a matching message.
+    """
+
+    def __init__(
+        self,
+        flows: list[str] | None = None,
+        victim_sources: list[str] | None = None,
+        drop_fraction: float = 1.0,
+        rng=None,
+    ) -> None:
+        self.flows = flows
+        self.victim_sources = victim_sources
+        self.drop_fraction = drop_fraction
+        self.rng = rng
+
+    def _matches(self, msg: OverlayMessage) -> bool:
+        if self.flows is not None:
+            if not any(pattern in msg.flow for pattern in self.flows):
+                return False
+        if self.victim_sources is not None:
+            if msg.src.node not in self.victim_sources:
+                return False
+        return True
+
+    def on_forward(self, node, msg: OverlayMessage, nbr: str) -> bool:
+        if not self._matches(msg):
+            return True
+        if self.drop_fraction >= 1.0:
+            return False
+        if self.rng is None:
+            return True
+        return self.rng.random() >= self.drop_fraction
+
+
+class DelayInjector(NodeBehavior):
+    """Delays forwarded data by a fixed amount — enough to blow tight
+    deadlines (remote manipulation, SCADA) without ever "losing" a
+    packet."""
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+    def on_forward(self, node, msg: OverlayMessage, nbr: str) -> bool:
+        node.sim.schedule(self.delay, self._forward_late, node, msg, nbr)
+        return False  # we swallow it now and replay it late
+
+    def _forward_late(self, node, msg: OverlayMessage, nbr: str) -> None:
+        protocol = node.protocol_for(nbr, msg.service.link)
+        protocol.send(msg)
+
+
+class Duplicator(NodeBehavior):
+    """Sends every forwarded message ``copies`` times — a bandwidth
+    amplification attack that de-duplication (flow-based processing)
+    absorbs."""
+
+    def __init__(self, copies: int = 3) -> None:
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        self.copies = copies
+
+    def on_forward(self, node, msg: OverlayMessage, nbr: str) -> bool:
+        protocol = node.protocol_for(nbr, msg.service.link)
+        for __ in range(self.copies - 1):
+            protocol.send(msg)
+        return True

@@ -1,0 +1,253 @@
+"""ODSBR-style intrusion-tolerant routing (Sec VI, [22]).
+
+The paper notes that ODSBR — on-demand routing that *localizes* faults
+with probing and routes around them — "could be implemented within a
+structured overlay framework to provide an alternative intrusion-
+tolerant messaging service that presents a different trade-off between
+timeliness and cost" compared with redundant dissemination (Sec IV-B).
+
+This module implements that alternative. An :class:`OdsbrSession`
+sends data over a *single* explicit source-routed path and expects
+end-to-end acknowledgments. When the measured loss on the path exceeds
+a threshold, it enters a probing phase: echo probes are source-routed
+to each node along the path prefix, on the same flow (in real ODSBR
+probes are onion-authenticated so an adversary cannot treat them
+differently from data; here they share the flow the adversary matches
+on). The farthest node that answers localizes the faulty link, which
+is penalized in the session's private view of the topology; the next
+path avoids it.
+
+The trade-off reproduced: ODSBR uses one path's worth of bandwidth
+(vs k paths or flooding) but needs observation + probing time to react,
+while redundant dissemination masks the fault instantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alg.dijkstra import shortest_path
+from repro.core.message import Address, OverlayMessage, ROUTING_PATH, ServiceSpec
+from repro.core.network import OverlayNetwork
+
+#: Multiplier applied to a link suspected of misbehaviour.
+PENALTY_FACTOR = 16.0
+
+
+@dataclass
+class OdsbrStats:
+    """Observable outcomes of one session."""
+
+    sent: int = 0
+    acked: int = 0
+    probe_rounds: int = 0
+    penalized_links: list = field(default_factory=list)
+    reroutes: int = 0
+
+
+class OdsbrSession:
+    """A fault-localizing unicast session between two sites.
+
+    Args:
+        overlay: The overlay to run over.
+        src_site / dst_site: Session endpoints (overlay node ids).
+        loss_threshold: Windowed loss ratio that triggers probing.
+        window: Number of recent sends the loss estimate covers.
+        ack_timeout: Seconds to wait before counting a send as lost.
+        probe_timeout: Seconds to wait for each probe's echo.
+    """
+
+    #: Virtual port every site's ODSBR agent listens on.
+    AGENT_PORT = 4800
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        src_site: str,
+        dst_site: str,
+        port: int = 4700,
+        loss_threshold: float = 0.3,
+        window: int = 20,
+        ack_timeout: float = 0.3,
+        probe_timeout: float = 0.3,
+    ) -> None:
+        self.overlay = overlay
+        self.sim = overlay.sim
+        self.src_site = src_site
+        self.dst_site = dst_site
+        self.loss_threshold = loss_threshold
+        self.window = window
+        self.ack_timeout = ack_timeout
+        self.probe_timeout = probe_timeout
+        self.stats = OdsbrStats()
+        self.delivered_payloads: list = []
+
+        self._penalties: dict[tuple[str, str], float] = {}
+        self._outcomes: list[bool] = []  # recent send results
+        self._pending: dict[int, object] = {}  # seq -> timeout event
+        self._probing = False
+        self._probe_round_id = 0
+        self._probe_echoes: set[int] = set()
+        self._probe_path: tuple = ()
+
+        self._source = overlay.client(src_site, port, on_message=self._on_ack)
+        self._sink = overlay.client(dst_site, port + 1,
+                                    on_message=self._on_data)
+        # One probe agent per site (the management plane every ODSBR
+        # router carries; probes are echoed by whoever they reach).
+        self._agents = {}
+        for site in overlay.nodes:
+            self._agents[site] = overlay.client(
+                site, self.AGENT_PORT, on_message=self._echo_probe
+            )
+        self.path = self._compute_path()
+
+    # ------------------------------------------------------------ paths
+
+    def _weighted_adjacency(self) -> dict:
+        adj = self.overlay.nodes[self.src_site].routing.adjacency()
+        weighted: dict = {}
+        for u, nbrs in adj.items():
+            weighted[u] = {}
+            for v, w in nbrs.items():
+                penalty = self._penalties.get(tuple(sorted((u, v))), 1.0)
+                weighted[u][v] = w * penalty
+        return weighted
+
+    def _compute_path(self) -> tuple:
+        path = shortest_path(self._weighted_adjacency(), self.src_site,
+                             self.dst_site)
+        if path is None:
+            raise RuntimeError(
+                f"no path {self.src_site} -> {self.dst_site} left"
+            )
+        return tuple(path)
+
+    def _service_for(self, path: tuple) -> ServiceSpec:
+        return ServiceSpec.make(routing=ROUTING_PATH, path=path)
+
+    # ------------------------------------------------------------- data
+
+    def send(self, payload=None, size: int = 500) -> None:
+        """Send one message on the current path, expecting an e2e ack."""
+        seq = self.stats.sent
+        self.stats.sent += 1
+        self._source.send(
+            Address(self.dst_site, self._sink.port),
+            payload={"seq": seq, "data": payload},
+            size=size,
+            service=self._service_for(self.path),
+        )
+        self._pending[seq] = self.sim.schedule(
+            self.ack_timeout, self._on_timeout, seq
+        )
+
+    def _on_data(self, msg: OverlayMessage) -> None:
+        self.delivered_payloads.append(msg.payload.get("data"))
+        self._sink.send(
+            Address(self.src_site, self._source.port),
+            payload={"ack": msg.payload["seq"]},
+            size=64,
+            service=self._service_for(tuple(reversed(self.path))),
+        )
+
+    def _on_ack(self, msg: OverlayMessage) -> None:
+        payload = msg.payload
+        if payload.get("echo"):
+            self._handle_probe_echo(payload)
+            return
+        seq = payload.get("ack")
+        event = self._pending.pop(seq, None)
+        if event is None:
+            return
+        event.cancel()
+        self.stats.acked += 1
+        self._record(True)
+
+    def _on_timeout(self, seq: int) -> None:
+        if self._pending.pop(seq, None) is None:
+            return
+        self._record(False)
+
+    def _record(self, ok: bool) -> None:
+        self._outcomes.append(ok)
+        if len(self._outcomes) > self.window:
+            self._outcomes.pop(0)
+        losses = self._outcomes.count(False)
+        if (
+            not self._probing
+            and len(self._outcomes) >= self.window // 2
+            and losses / len(self._outcomes) > self.loss_threshold
+        ):
+            self._start_probe_round()
+
+    # ----------------------------------------------------------- probing
+
+    def _start_probe_round(self) -> None:
+        """Probe every node along the current path; the farthest echo
+        localizes the fault to the following link. The probed path is
+        snapshotted: a reroute happening mid-round must not cause the
+        fault index to be applied to a different path."""
+        self._probing = True
+        self.stats.probe_rounds += 1
+        self._probe_round_id += 1
+        self._probe_echoes = set()
+        self._probe_path = self.path
+        for index, node in enumerate(self._probe_path[1:], start=1):
+            prefix = self._probe_path[: index + 1]
+            self._source.send(
+                Address(node, self.AGENT_PORT),
+                payload={
+                    "probe": index,
+                    "round": self._probe_round_id,
+                    "reply_to": self._source.port,
+                    "prefix": prefix,
+                },
+                size=64,
+                service=self._service_for(prefix),
+            )
+        self.sim.schedule(self.probe_timeout, self._finish_probe_round)
+
+    def _echo_probe(self, msg: OverlayMessage) -> None:
+        if "probe" not in msg.payload:
+            return
+        if "echo" in msg.payload:
+            return
+        agent = self._agents[msg.dst.node]
+        # The echo retraces the probe's own path in reverse (as ODSBR's
+        # onion-authenticated responses do). If it travelled link-state
+        # instead, a Byzantine node OFF the probed path could still eat
+        # echoes and frame innocent links.
+        reverse = tuple(reversed(msg.payload["prefix"]))
+        agent.send(
+            Address(self.src_site, msg.payload["reply_to"]),
+            payload={
+                "probe": msg.payload["probe"],
+                "round": msg.payload.get("round"),
+                "echo": True,
+            },
+            size=64,
+            service=self._service_for(reverse),
+        )
+
+    def _handle_probe_echo(self, payload: dict) -> None:
+        if payload.get("round") != self._probe_round_id:
+            return  # stale echo from an earlier round
+        self._probe_echoes.add(payload["probe"])
+
+    def _finish_probe_round(self) -> None:
+        self._probing = False
+        path = self._probe_path
+        farthest = max(self._probe_echoes, default=0)
+        if farthest >= len(path) - 1:
+            return  # even the destination answered; transient loss
+        suspect = tuple(sorted((path[farthest], path[farthest + 1])))
+        self._penalties[suspect] = (
+            self._penalties.get(suspect, 1.0) * PENALTY_FACTOR
+        )
+        self.stats.penalized_links.append(suspect)
+        new_path = self._compute_path()
+        if new_path != self.path:
+            self.stats.reroutes += 1
+            self.path = new_path
+        self._outcomes.clear()

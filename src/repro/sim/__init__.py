@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction runs on a simulated clock: the underlay
+Internet, the overlay daemons, the link-level protocol timers, and the
+applications. The kernel provides a deterministic, cancellable event
+scheduler (:class:`~repro.sim.events.Simulator`), named seeded random
+streams (:class:`~repro.sim.rng.RngRegistry`), and trace collection
+(:mod:`repro.sim.trace`).
+"""
+
+from repro.sim.events import Event, Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Counter, DeliveryRecord, SendRecord, TraceCollector
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RngRegistry",
+    "Counter",
+    "DeliveryRecord",
+    "SendRecord",
+    "TraceCollector",
+]

@@ -1,0 +1,152 @@
+"""Deterministic discrete-event scheduler.
+
+The :class:`Simulator` owns the simulated clock and a binary-heap event
+queue. Events fire in (time, insertion-order) order, so two events
+scheduled for the same instant run in the order they were scheduled —
+this makes every run fully deterministic given the same inputs.
+
+Events are cancellable: protocol code keeps the :class:`Event` handle
+returned by :meth:`Simulator.schedule` and calls :meth:`Event.cancel`
+(e.g. NM-Strikes cancels pending retransmission requests when the
+missing packet arrives).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulator (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback; returned by :meth:`Simulator.schedule`.
+
+    Attributes:
+        time: Simulated time at which the callback fires.
+        fn: The callback.
+        args: Positional arguments passed to the callback.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "_cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Simulator:
+    """Simulated clock plus event queue.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(0.5, node.send_hello)
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue empties, ``until`` passes, or
+        ``max_events`` fire. Returns the number of events processed by
+        this call. The clock is advanced to ``until`` if given, even if
+        the queue drains earlier.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.fn(*event.args)
+                processed += 1
+                self._processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return processed
+
+    def step(self) -> bool:
+        """Run a single (non-cancelled) event. Returns False if none left."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fn(*event.args)
+            self._processed += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is left as-is)."""
+        self._queue.clear()

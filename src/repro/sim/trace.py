@@ -1,0 +1,115 @@
+"""Trace and metric collection.
+
+Experiments record one :class:`DeliveryRecord` per application message
+delivered (or expired) and increment named :class:`Counter` values for
+protocol-level events (retransmissions, drops, control bytes, ...).
+The analysis helpers in :mod:`repro.analysis.metrics` consume these.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One application message outcome at one destination.
+
+    Attributes:
+        flow: Flow identifier the message belonged to.
+        seq: Application sequence number of the message.
+        sent_at: Simulated time the source sent the message.
+        delivered_at: Simulated delivery time, or ``None`` if never delivered.
+        destination: Identifier of the receiving endpoint.
+        size: Payload size in bytes.
+    """
+
+    flow: str
+    seq: int
+    sent_at: float
+    delivered_at: float | None
+    destination: str
+    size: int = 0
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_at is not None
+
+    @property
+    def latency(self) -> float | None:
+        """One-way latency in seconds, or ``None`` if not delivered."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.sent_at
+
+    def within(self, deadline: float) -> bool:
+        """True if delivered within ``deadline`` seconds of being sent."""
+        latency = self.latency
+        return latency is not None and latency <= deadline
+
+
+class Counter:
+    """A dict-backed named counter with a tiny convenience API."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({dict(self._values)!r})"
+
+
+@dataclass(frozen=True)
+class SendRecord:
+    """One application message entering the overlay at its source."""
+
+    flow: str
+    seq: int
+    sent_at: float
+    size: int
+    dst: str
+
+
+@dataclass
+class TraceCollector:
+    """Collects send/delivery records and counters for one run."""
+
+    sends: list[SendRecord] = field(default_factory=list)
+    records: list[DeliveryRecord] = field(default_factory=list)
+    counters: Counter = field(default_factory=Counter)
+
+    def record_send(
+        self, flow: str, seq: int, sent_at: float, size: int, dst: str
+    ) -> None:
+        self.sends.append(SendRecord(flow, seq, sent_at, size, dst))
+
+    def sends_for_flow(self, flow: str) -> list[SendRecord]:
+        return [s for s in self.sends if s.flow == flow]
+
+    def record_delivery(
+        self,
+        flow: str,
+        seq: int,
+        sent_at: float,
+        delivered_at: float | None,
+        destination: str,
+        size: int = 0,
+    ) -> None:
+        self.records.append(
+            DeliveryRecord(flow, seq, sent_at, delivered_at, destination, size)
+        )
+
+    def for_flow(self, flow: str) -> list[DeliveryRecord]:
+        return [r for r in self.records if r.flow == flow]
+
+    def for_destination(self, destination: str) -> list[DeliveryRecord]:
+        return [r for r in self.records if r.destination == destination]

@@ -1,0 +1,45 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.scenarios import line_scenario, triangle_scenario
+from repro.core.config import OverlayConfig
+from repro.net.loss import BernoulliLoss
+from repro.sim.events import Simulator
+from repro.sim.rng import RngRegistry
+
+# The triangle fixture moved into the library (repro.analysis.scenarios)
+# so benchmarks can use it without importing the test package.
+make_triangle_overlay = triangle_scenario
+
+
+def make_two_node_line(
+    seed: int = 1,
+    loss_rate: float = 0.0,
+    hop_delay: float = 0.010,
+    config: OverlayConfig | None = None,
+):
+    """Two overlay nodes joined by a single 1-hop overlay link — the
+    minimal fixture for exercising link protocols in isolation."""
+    loss_factory = None
+    if loss_rate > 0:
+        loss_factory = lambda: BernoulliLoss(loss_rate)
+    return line_scenario(
+        seed,
+        n_hops=1,
+        hop_delay=hop_delay,
+        loss_factory=loss_factory,
+        config=config,
+    )
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(12345)

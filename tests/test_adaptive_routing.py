@@ -1,0 +1,118 @@
+"""Adaptive dissemination graphs: redundancy tracks the problem ([2])."""
+
+import pytest
+
+from repro.core.linkstate import GroupDatabase, TopologyDatabase
+from repro.core.message import ROUTING_ADAPTIVE, ROUTING_DISJOINT, ServiceSpec
+from repro.core.routing import LinkIndex, RoutingService
+
+# A mesh with enough alternatives around both endpoints.
+EDGES = [
+    ("s", "a", 1.0), ("s", "b", 1.0), ("s", "c", 1.0),
+    ("a", "m", 1.0), ("b", "m", 1.0), ("c", "n", 1.0),
+    ("m", "n", 1.0), ("m", "x", 1.0), ("n", "y", 1.0),
+    ("x", "t", 1.0), ("y", "t", 1.0), ("x", "y", 1.0),
+]
+LINKS = [(u, v) for u, v, __ in EDGES]
+
+
+def _service(node="s", cost_overrides=None):
+    """RoutingService whose DB first sees baseline costs, then an update
+    applying ``cost_overrides`` (simulating measured degradation)."""
+    topo = TopologyDatabase()
+    nodes: dict = {}
+    for a, b, w in EDGES:
+        nodes.setdefault(a, {})[b] = w
+        nodes.setdefault(b, {})[a] = w
+    for origin, nbrs in nodes.items():
+        topo.update(origin, 1, nbrs)
+    svc = RoutingService(node, topo, GroupDatabase(), LinkIndex(LINKS))
+    svc.adjacency()  # record baselines
+    if cost_overrides:
+        for origin, nbrs in nodes.items():
+            updated = {
+                v: cost_overrides.get((origin, v), w) for v, w in nbrs.items()
+            }
+            topo.update(origin, 2, updated)
+    return svc
+
+
+ADAPTIVE = ServiceSpec(routing=ROUTING_ADAPTIVE)
+
+
+def test_clean_network_uses_two_disjoint_paths():
+    svc = _service()
+    adaptive_mask = svc.source_bitmask("t", ADAPTIVE)
+    disjoint_mask = svc.source_bitmask("t", ServiceSpec(routing=ROUTING_DISJOINT, k=2))
+    assert adaptive_mask == disjoint_mask
+
+
+def test_source_degradation_fans_out_from_source():
+    svc = _service(cost_overrides={("s", "a"): 10.0, ("a", "s"): 10.0})
+    mask = svc.source_bitmask("t", ADAPTIVE)
+    edges = set(svc.links.edges_of_mask(mask))
+    source_degree = sum(1 for e in edges if "s" in e)
+    assert source_degree == 3, edges  # all of s's links used
+
+
+def test_destination_degradation_fans_into_destination():
+    svc = _service(cost_overrides={("t", "x"): 10.0, ("x", "t"): 10.0})
+    mask = svc.source_bitmask("t", ADAPTIVE)
+    edges = set(svc.links.edges_of_mask(mask))
+    dst_degree = sum(1 for e in edges if "t" in e)
+    assert dst_degree == 2  # both of t's links used
+
+
+def test_both_sides_degraded_uses_full_problem_graph():
+    svc = _service(cost_overrides={
+        ("s", "a"): 10.0, ("a", "s"): 10.0,
+        ("t", "x"): 10.0, ("x", "t"): 10.0,
+    })
+    mask = svc.source_bitmask("t", ADAPTIVE)
+    edges = set(svc.links.edges_of_mask(mask))
+    assert sum(1 for e in edges if "s" in e) == 3
+    assert sum(1 for e in edges if "t" in e) == 2
+
+
+def test_down_link_counts_as_degraded():
+    svc = _service(cost_overrides={("t", "x"): None, ("x", "t"): None})
+    svc.adjacency()  # refresh against the updated records
+    assert svc._degraded_at("t")
+    assert not svc._degraded_at("s")
+    # The adaptive service still routes around the dead link.
+    mask = svc.source_bitmask("t", ADAPTIVE)
+    edges = set(svc.links.edges_of_mask(mask))
+    assert ("x", "t") not in edges and ("t", "x") not in edges
+    assert any("t" in e for e in edges)
+
+
+def test_adaptive_mask_cheaper_than_static_graph_when_clean():
+    from repro.core.message import ROUTING_GRAPH
+
+    svc = _service()
+    adaptive = bin(svc.source_bitmask("t", ADAPTIVE)).count("1")
+    static = bin(svc.source_bitmask("t", ServiceSpec(routing=ROUTING_GRAPH))).count("1")
+    assert adaptive < static
+
+
+def test_degradation_elsewhere_does_not_trigger_redundancy():
+    svc = _service(cost_overrides={("m", "n"): 10.0, ("n", "m"): 10.0})
+    adaptive_mask = svc.source_bitmask("t", ADAPTIVE)
+    disjoint_mask = svc.source_bitmask("t", ServiceSpec(routing=ROUTING_DISJOINT, k=2))
+    assert adaptive_mask == disjoint_mask
+
+
+def test_adaptive_end_to_end_delivery():
+    """Adaptive routing works as a live service on a real overlay."""
+    from repro.core.message import Address, LINK_SINGLE_STRIKE
+    from tests.conftest import make_triangle_overlay
+
+    scn = make_triangle_overlay(seed=601)
+    got = []
+    scn.overlay.client("hz", 7, on_message=got.append)
+    scn.overlay.client("hx").send(
+        Address("hz", 7),
+        service=ServiceSpec(routing=ROUTING_ADAPTIVE, link=LINK_SINGLE_STRIKE),
+    )
+    scn.run_for(1.0)
+    assert len(got) == 1

@@ -1,0 +1,129 @@
+"""Dijkstra tests, including a networkx oracle over random graphs."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alg.dijkstra import (
+    dijkstra,
+    extract_path,
+    next_hops,
+    path_cost,
+    shortest_path,
+    shortest_path_tree,
+)
+from repro.alg.graph import undirected
+
+
+SQUARE = undirected(
+    [("a", "b", 1.0), ("b", "c", 1.0), ("a", "d", 1.0), ("d", "c", 5.0)]
+)
+
+
+def test_shortest_path_simple():
+    assert shortest_path(SQUARE, "a", "c") == ["a", "b", "c"]
+
+
+def test_shortest_path_to_self():
+    assert shortest_path(SQUARE, "a", "a") == ["a"]
+
+
+def test_unreachable_returns_none():
+    adj = {"a": {"b": 1.0}, "b": {"a": 1.0}, "z": {}}
+    assert shortest_path(adj, "a", "z") is None
+
+
+def test_unknown_source():
+    dist, prev = dijkstra({"a": {}}, "missing")
+    assert dist == {"missing": 0.0}
+    assert prev == {}
+
+
+def test_negative_weight_rejected():
+    with pytest.raises(ValueError):
+        dijkstra({"a": {"b": -1.0}, "b": {}}, "a")
+
+
+def test_path_cost():
+    assert path_cost(SQUARE, ["a", "d", "c"]) == 6.0
+
+
+def test_shortest_path_tree_covers_reachable_nodes():
+    paths = shortest_path_tree(SQUARE, "a")
+    assert set(paths) == {"a", "b", "c", "d"}
+    assert paths["c"] == ["a", "b", "c"]
+
+
+def test_next_hops_point_along_shortest_paths():
+    table = next_hops(SQUARE, "c")
+    assert table["a"] == "b"
+    assert table["b"] == "c"
+    # d's direct edge to c costs 5; d-a-b-c costs 3.
+    assert table["d"] == "a"
+
+
+def test_next_hops_respects_asymmetric_weights():
+    adj = {
+        "a": {"b": 1.0, "c": 10.0},
+        "b": {"c": 1.0},
+        "c": {},
+    }
+    table = next_hops(adj, "c")
+    assert table["a"] == "b"
+
+
+def test_extract_path_missing_destination():
+    __, prev = dijkstra(SQUARE, "a")
+    assert extract_path(prev, "a", "nope") is None
+
+
+@st.composite
+def random_weighted_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    edges = []
+    seen = set()
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    count = draw(st.integers(min_value=1, max_value=len(possible)))
+    chosen = draw(st.permutations(possible))[:count]
+    for i, j in chosen:
+        if (i, j) in seen:
+            continue
+        seen.add((i, j))
+        w = draw(st.floats(min_value=0.001, max_value=100.0))
+        edges.append((i, j, w))
+    return n, edges
+
+
+@given(random_weighted_graphs())
+@settings(max_examples=60, deadline=None)
+def test_property_dijkstra_matches_networkx(graph):
+    n, edges = graph
+    adj = undirected(edges)
+    for i in range(n):
+        adj.setdefault(i, {})
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_weighted_edges_from(edges)
+    dist, __ = dijkstra(adj, 0)
+    nx_dist = nx.single_source_dijkstra_path_length(g, 0)
+    assert set(dist) == set(nx_dist)
+    for node, d in nx_dist.items():
+        assert dist[node] == pytest.approx(d)
+
+
+@given(random_weighted_graphs())
+@settings(max_examples=40, deadline=None)
+def test_property_next_hop_chains_reach_destination(graph):
+    n, edges = graph
+    adj = undirected(edges)
+    for i in range(n):
+        adj.setdefault(i, {})
+    dist, __ = dijkstra(adj, n - 1)
+    table = next_hops(adj, n - 1)
+    for node in dist:
+        current = node
+        hops = 0
+        while current != n - 1:
+            current = table[current]
+            hops += 1
+            assert hops <= n, "next-hop chain loops"

@@ -1,0 +1,137 @@
+"""Node-disjoint paths: correctness against a networkx oracle and the
+disjointness invariant the intrusion-tolerance guarantee rests on."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alg.dijkstra import path_cost
+from repro.alg.disjoint import node_disjoint_paths
+from repro.alg.graph import undirected
+
+DIAMOND = undirected(
+    [
+        ("s", "a", 1.0),
+        ("a", "t", 1.0),
+        ("s", "b", 1.0),
+        ("b", "t", 1.0),
+        ("a", "b", 0.1),
+    ]
+)
+
+
+def _assert_disjoint(paths, src, dst):
+    for path in paths:
+        assert path[0] == src and path[-1] == dst
+        interior = path[1:-1]
+        assert len(set(interior)) == len(interior), "node repeated within a path"
+    all_interior = [n for p in paths for n in p[1:-1]]
+    assert len(set(all_interior)) == len(all_interior), "paths share a node"
+
+
+def test_two_disjoint_paths_in_diamond():
+    paths = node_disjoint_paths(DIAMOND, "s", "t", 2)
+    assert len(paths) == 2
+    _assert_disjoint(paths, "s", "t")
+
+
+def test_no_third_disjoint_path_in_diamond():
+    paths = node_disjoint_paths(DIAMOND, "s", "t", 3)
+    assert len(paths) == 2
+
+
+def test_unreachable_destination():
+    adj = {"s": {"a": 1.0}, "a": {"s": 1.0}, "t": {}}
+    assert node_disjoint_paths(adj, "s", "t", 2) == []
+
+
+def test_k_zero_or_negative():
+    assert node_disjoint_paths(DIAMOND, "s", "t", 0) == []
+    assert node_disjoint_paths(DIAMOND, "s", "t", -1) == []
+
+
+def test_same_endpoints_rejected():
+    with pytest.raises(ValueError):
+        node_disjoint_paths(DIAMOND, "s", "s", 2)
+
+
+def test_min_cost_single_path_is_shortest():
+    paths = node_disjoint_paths(DIAMOND, "s", "t", 1)
+    assert len(paths) == 1
+    assert path_cost(DIAMOND, paths[0]) == pytest.approx(2.0)
+
+
+def test_min_cost_pair_total():
+    # Two disjoint s-t paths must use both sides of the diamond: 2 + 2.
+    paths = node_disjoint_paths(DIAMOND, "s", "t", 2)
+    total = sum(path_cost(DIAMOND, p) for p in paths)
+    assert total == pytest.approx(4.0)
+
+
+def test_min_cost_avoids_greedy_trap():
+    """A graph where the shortest path blocks all disjoint pairs unless
+    the flow formulation reroutes it (the classic Suurballe example)."""
+    adj = undirected(
+        [
+            ("s", "m", 1.0),
+            ("m", "t", 1.0),
+            ("s", "a", 2.0),
+            ("a", "m", 0.1),  # tempting shortcut through m
+            ("a", "t", 2.0),
+            ("s", "b", 3.0),
+            ("b", "t", 3.0),
+        ]
+    )
+    paths = node_disjoint_paths(adj, "s", "t", 2)
+    assert len(paths) == 2
+    _assert_disjoint(paths, "s", "t")
+
+
+def test_direct_edge_counts_as_a_path():
+    adj = undirected([("s", "t", 1.0), ("s", "a", 1.0), ("a", "t", 1.0)])
+    paths = node_disjoint_paths(adj, "s", "t", 2)
+    assert len(paths) == 2
+
+
+def test_negative_weight_rejected():
+    adj = {"s": {"t": -2.0}, "t": {}}
+    with pytest.raises(ValueError):
+        node_disjoint_paths(adj, "s", "t", 1)
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    count = draw(st.integers(min_value=n - 1, max_value=len(possible)))
+    chosen = draw(st.permutations(possible))[:count]
+    edges = [
+        (i, j, draw(st.floats(min_value=0.01, max_value=10.0))) for i, j in chosen
+    ]
+    return n, edges
+
+
+@given(random_graphs(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_property_paths_are_disjoint_and_count_matches_connectivity(graph, k):
+    n, edges = graph
+    adj = undirected(edges)
+    for i in range(n):
+        adj.setdefault(i, {})
+    src, dst = 0, n - 1
+    paths = node_disjoint_paths(adj, src, dst, k)
+    if paths:
+        _assert_disjoint(paths, src, dst)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from((u, v) for u, v, __ in edges)
+    if g.has_edge(src, dst):
+        # networkx connectivity ignores the direct edge nuance; just
+        # check we found at least one path.
+        assert len(paths) >= 1
+        return
+    try:
+        connectivity = nx.node_connectivity(g, src, dst)
+    except nx.NetworkXError:
+        connectivity = 0
+    assert len(paths) == min(k, connectivity)

@@ -1,0 +1,87 @@
+"""Brute-force oracle for the *min-cost* property of the disjoint-paths
+algorithm (the count property is oracled against networkx elsewhere)."""
+
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alg.dijkstra import path_cost
+from repro.alg.disjoint import node_disjoint_paths
+from repro.alg.graph import undirected
+
+
+def _all_simple_paths(adj, src, dst, max_len=7):
+    """Every simple path src..dst (small graphs only)."""
+    paths = []
+
+    def walk(node, path):
+        if len(path) > max_len:
+            return
+        if node == dst:
+            paths.append(list(path))
+            return
+        for nxt in adj.get(node, {}):
+            if nxt not in path:
+                path.append(nxt)
+                walk(nxt, path)
+                path.pop()
+
+    walk(src, [src])
+    return paths
+
+
+def _brute_force_best_pair(adj, src, dst):
+    """Cheapest pair of node-disjoint paths, by exhaustive search."""
+    paths = _all_simple_paths(adj, src, dst)
+    best = None
+    for i, p1 in enumerate(paths):
+        interior1 = set(p1[1:-1])
+        for p2 in paths[i + 1 :]:
+            if interior1 & set(p2[1:-1]):
+                continue
+            cost = path_cost(adj, p1) + path_cost(adj, p2)
+            if best is None or cost < best:
+                best = cost
+    return best
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=4, max_value=6))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    count = draw(st.integers(min_value=n, max_value=len(possible)))
+    chosen = draw(st.permutations(possible))[:count]
+    edges = [
+        (i, j, draw(st.floats(min_value=0.1, max_value=9.0))) for i, j in chosen
+    ]
+    return n, edges
+
+
+@given(small_graphs())
+@settings(max_examples=40, deadline=None)
+def test_property_two_disjoint_paths_are_min_total_cost(graph):
+    n, edges = graph
+    adj = undirected(edges)
+    for i in range(n):
+        adj.setdefault(i, {})
+    src, dst = 0, n - 1
+    result = node_disjoint_paths(adj, src, dst, 2)
+    oracle = _brute_force_best_pair(adj, src, dst)
+    if oracle is None:
+        assert len(result) < 2
+        return
+    assert len(result) == 2
+    total = sum(path_cost(adj, p) for p in result)
+    assert total == pytest.approx(oracle, rel=1e-6)
+
+
+def test_known_min_cost_example():
+    adj = undirected([
+        ("s", "a", 1.0), ("a", "t", 1.0),        # cheap path: 2
+        ("s", "b", 2.0), ("b", "t", 2.0),        # mid path: 4
+        ("s", "c", 5.0), ("c", "t", 5.0),        # dear path: 10
+    ])
+    paths = node_disjoint_paths(adj, "s", "t", 2)
+    total = sum(path_cost(adj, p) for p in paths)
+    assert total == pytest.approx(6.0)  # 2 + 4, never the 10

@@ -1,0 +1,91 @@
+"""Multicast shortest-path trees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alg.dijkstra import dijkstra
+from repro.alg.graph import undirected
+from repro.alg.trees import multicast_tree, tree_edges, tree_nodes
+
+GRID = undirected(
+    [
+        ("a", "b", 1.0),
+        ("b", "c", 1.0),
+        ("a", "d", 1.0),
+        ("d", "e", 1.0),
+        ("b", "e", 1.0),
+        ("e", "f", 1.0),
+        ("c", "f", 1.0),
+    ]
+)
+
+
+def test_tree_spans_members():
+    tree = multicast_tree(GRID, "a", ["c", "f"])
+    nodes = tree_nodes(tree)
+    assert {"a", "c", "f"} <= nodes
+
+
+def test_tree_is_acyclic_and_rooted():
+    tree = multicast_tree(GRID, "a", ["c", "e", "f"])
+    edges = tree_edges(tree)
+    children = [c for __, c in edges]
+    assert len(children) == len(set(children)), "node has two parents"
+    assert all(parent != "a" or True for parent, __ in edges)
+
+
+def test_source_only_member_gives_trivial_tree():
+    tree = multicast_tree(GRID, "a", ["a"])
+    assert tree == {"a": []}
+
+
+def test_unreachable_member_is_omitted():
+    adj = dict(GRID)
+    adj["lonely"] = {}
+    tree = multicast_tree(adj, "a", ["lonely", "c"])
+    assert "lonely" not in tree_nodes(tree)
+    assert "c" in tree_nodes(tree)
+
+
+def test_paths_in_tree_are_shortest():
+    tree = multicast_tree(GRID, "a", ["f"])
+    # Walk from a to f through the tree and measure.
+    dist, __ = dijkstra(GRID, "a")
+    depth = {"a": 0.0}
+    frontier = ["a"]
+    while frontier:
+        node = frontier.pop()
+        for child in tree.get(node, []):
+            depth[child] = depth[node] + GRID[node][child]
+            frontier.append(child)
+    assert depth["f"] == dist["f"]
+
+
+def test_same_inputs_same_tree():
+    t1 = multicast_tree(GRID, "a", ["c", "f", "e"])
+    t2 = multicast_tree(GRID, "a", ["c", "f", "e"])
+    assert t1 == t2
+
+
+@given(st.integers(min_value=2, max_value=9), st.data())
+@settings(max_examples=40, deadline=None)
+def test_property_tree_edge_count(n, data):
+    """A tree touching m nodes has exactly m - 1 edges."""
+    edges = [(i, i + 1, 1.0) for i in range(n - 1)]
+    extra = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=10,
+        )
+    )
+    for u, v in extra:
+        if u != v:
+            edges.append((u, v, 1.0))
+    adj = undirected(edges)
+    members = data.draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n)
+    )
+    tree = multicast_tree(adj, 0, members)
+    assert len(tree_edges(tree)) == len(tree_nodes(tree)) - 1

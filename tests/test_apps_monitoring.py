@@ -1,0 +1,90 @@
+"""Cloud monitoring and control (Sec III-B, IV-B)."""
+
+from repro.analysis.scenarios import continental_scenario
+from repro.apps.monitoring import (
+    ControlCenter,
+    MonitoredEndpoint,
+    control_service,
+    monitoring_service,
+)
+from repro.core.message import Address, LINK_IT_PRIORITY, LINK_IT_RELIABLE
+
+
+def test_service_selection():
+    assert monitoring_service().link == "realtime"
+    assert monitoring_service(True).link == LINK_IT_PRIORITY
+    assert control_service().link == "reliable"
+    assert control_service(True).link == LINK_IT_RELIABLE
+    assert control_service().ordered
+
+
+def _deploy(scn, intrusion_tolerant=False, n_endpoints=3):
+    cc = ControlCenter(scn.overlay, "site-WAS",
+                       intrusion_tolerant=intrusion_tolerant)
+    endpoints = []
+    cities = ["SEA", "LAX", "DAL", "CHI", "MIA"]
+    for i in range(n_endpoints):
+        ep = MonitoredEndpoint(
+            scn.overlay, f"site-{cities[i]}", f"ep{i}", 9100 + i,
+            rate_pps=20.0, intrusion_tolerant=intrusion_tolerant,
+        )
+        endpoints.append(ep)
+    scn.run_for(0.5)  # let group state settle
+    for ep in endpoints:
+        ep.start()
+    return cc, endpoints
+
+
+def test_monitoring_streams_reach_control_center():
+    scn = continental_scenario(seed=81)
+    cc, endpoints = _deploy(scn)
+    scn.run_for(3.0)
+    assert cc.monitoring.received > 150  # 3 endpoints x 20 pps x ~3 s
+    assert cc.monitoring.mean_staleness < 0.1
+
+
+def test_multiple_consumers_one_stream():
+    """The mesh-connectivity point: adding a consumer is just a join."""
+    scn = continental_scenario(seed=82)
+    cc1, endpoints = _deploy(scn, n_endpoints=1)
+    cc2 = ControlCenter(scn.overlay, "site-BOS", port=8001)
+    scn.run_for(3.0)
+    assert cc1.monitoring.received > 40
+    assert cc2.monitoring.received > 40
+
+
+def test_control_commands_acked():
+    scn = continental_scenario(seed=83)
+    cc, endpoints = _deploy(scn)
+    scn.run_for(1.0)
+    for i in range(3):
+        cc.send_command(Address(f"site-{['SEA','LAX','DAL'][i]}", 9100 + i))
+    scn.run_for(2.0)
+    assert cc.unacked_commands() == 0
+    assert all(rtt < 0.2 for rtt in cc.command_rtts())
+    assert all(len(ep.executed) == 1 for ep in endpoints)
+
+
+def test_intrusion_tolerant_variant_works_end_to_end():
+    scn = continental_scenario(seed=84)
+    cc, endpoints = _deploy(scn, intrusion_tolerant=True)
+    scn.run_for(3.0)
+    cc.send_command(Address("site-SEA", 9100))
+    scn.run_for(3.0)
+    assert cc.monitoring.received > 100
+    assert cc.unacked_commands() == 0
+
+
+def test_monitoring_prefers_freshness_over_completeness():
+    """Monitoring data may be lost under loss, but what arrives is fresh."""
+    from repro.net.loss import GilbertElliottLoss
+
+    scn = continental_scenario(
+        seed=85,
+        loss_factory=lambda: GilbertElliottLoss(mean_good=1.0, mean_bad=0.05,
+                                                bad_loss=0.6),
+    )
+    cc, endpoints = _deploy(scn, n_endpoints=2)
+    scn.run_for(4.0)
+    assert cc.monitoring.received > 0
+    assert cc.monitoring.mean_staleness < 0.12

@@ -1,0 +1,185 @@
+"""Remote manipulation, SCADA agreement, and compound flows (Sec V)."""
+
+import pytest
+
+from repro.analysis.scenarios import continental_scenario
+from repro.analysis.workloads import CbrSource
+from repro.apps.compound import (
+    CDN_GROUP,
+    CdnReceiver,
+    TRANSCODE_GROUP,
+    TranscodingFacility,
+)
+from repro.apps.remote import (
+    ONE_WAY_BUDGET,
+    ROUND_TRIP_BUDGET,
+    RemoteManipulationSession,
+    manipulation_service,
+)
+from repro.apps.scada import ScadaDeployment
+from repro.core.message import Address, LINK_RELIABLE, ServiceSpec
+from repro.security.crypto import Authenticator, KeyStore
+
+
+class TestRemoteManipulation:
+    def test_budgets_match_paper(self):
+        assert ROUND_TRIP_BUDGET == pytest.approx(0.130)
+        assert ONE_WAY_BUDGET == pytest.approx(0.065)
+
+    def test_loop_closes_on_time_on_clean_network(self):
+        scn = continental_scenario(seed=91)
+        session = RemoteManipulationSession(
+            scn.overlay, "site-NYC", "site-LAX", rate_pps=50
+        ).start(duration=3.0)
+        scn.run_for(4.0)
+        stats = session.stats()
+        assert stats.on_time_ratio > 0.99
+        assert max(session.round_trip_latencies) < 0.130
+
+    def test_service_is_graph_plus_single_strike(self):
+        svc = manipulation_service()
+        assert svc.routing == "graph"
+        assert svc.link == "single-strike"
+
+    def test_dissemination_graph_beats_single_path_under_loss(self):
+        from repro.net.loss import GilbertElliottLoss
+
+        def run(service, seed=92):
+            scn = continental_scenario(
+                seed=seed,
+                loss_factory=lambda: GilbertElliottLoss(
+                    mean_good=0.5, mean_bad=0.06, bad_loss=0.8
+                ),
+            )
+            session = RemoteManipulationSession(
+                scn.overlay, "site-NYC", "site-LAX", rate_pps=50, service=service
+            ).start(duration=5.0)
+            scn.run_for(7.0)
+            return session.stats().on_time_ratio
+
+        graph = run(manipulation_service())
+        single = run(ServiceSpec(link="single-strike"))
+        assert graph > single
+
+    def test_duplicate_feedback_counted_once(self):
+        scn = continental_scenario(seed=93)
+        session = RemoteManipulationSession(
+            scn.overlay, "site-NYC", "site-CHI", rate_pps=20
+        ).start(duration=2.0)
+        scn.run_for(3.0)
+        stats = session.stats()
+        assert stats.feedback_received <= stats.commands_sent
+
+
+class TestScada:
+    def _overlay(self, seed=94):
+        return continental_scenario(seed=seed)
+
+    def test_replica_count_validation(self):
+        scn = self._overlay()
+        with pytest.raises(ValueError):
+            ScadaDeployment(scn.overlay, ["site-NYC", "site-CHI", "site-DEN"])
+
+    def test_agreement_decides_at_all_replicas(self):
+        scn = self._overlay(95)
+        scada = ScadaDeployment(
+            scn.overlay, ["site-NYC", "site-CHI", "site-DEN", "site-ATL"]
+        )
+        scn.run_for(1.0)
+        pid = scada.propose("trip-breaker-7")
+        scn.run_for(2.0)
+        assert scada.decided_count(pid) == 4
+        assert scada.decision_latency(pid) is not None
+
+    def test_agreement_latency_within_budget_with_cheap_crypto(self):
+        scn = self._overlay(96)
+        keystore = KeyStore()
+        auth = Authenticator(keystore, sign_delay=0.0005, verify_delay=0.00005)
+        scada = ScadaDeployment(
+            scn.overlay,
+            ["site-NYC", "site-CHI", "site-DEN", "site-ATL"],
+            auth=auth,
+        )
+        scn.run_for(1.0)
+        pid = scada.propose("cmd")
+        scn.run_for(2.0)
+        latency = scada.quorum_decision_latency(pid)
+        assert latency is not None
+        assert latency < 0.2  # fits the Sec V-B budget at n=4
+
+    def test_expensive_crypto_blows_the_budget_at_scale(self):
+        """The Sec V-B barrier: same protocol, bigger n + slow signatures
+        -> agreement alone exceeds 200 ms."""
+        scn = continental_scenario(seed=97, isps=["ispA", "ispB"])
+        keystore = KeyStore()
+        auth = Authenticator(keystore, sign_delay=0.03, verify_delay=0.008)
+        sites = [f"site-{c}" for c in
+                 ("NYC", "CHI", "DEN", "ATL", "LAX", "SEA", "DAL",
+                  "WAS", "MIA", "STL")]
+        scada = ScadaDeployment(scn.overlay, sites, auth=auth)
+        scn.run_for(1.0)
+        pid = scada.propose("cmd")
+        scn.run_for(5.0)
+        latency = scada.quorum_decision_latency(pid)
+        assert latency is not None
+        assert latency > 0.2
+
+    def test_device_load_steals_cpu(self):
+        def latency_with_load(load, seed=98):
+            scn = continental_scenario(seed=seed)
+            auth = Authenticator(KeyStore(), sign_delay=0.002,
+                                 verify_delay=0.001)
+            scada = ScadaDeployment(
+                scn.overlay,
+                ["site-NYC", "site-CHI", "site-DEN", "site-ATL"],
+                auth=auth,
+            )
+            for replica in scada.replicas:
+                replica.add_device_load(load)
+            scn.run_for(1.0)
+            pid = scada.propose("cmd")
+            scn.run_for(5.0)
+            return scada.quorum_decision_latency(pid)
+
+        assert latency_with_load(500.0) > latency_with_load(0.0)
+
+
+class TestCompoundFlows:
+    def _pipeline(self, seed=99):
+        scn = continental_scenario(seed=seed)
+        fac_dal = TranscodingFacility(scn.overlay, "site-DAL", 7300)
+        fac_stl = TranscodingFacility(scn.overlay, "site-STL", 7301)
+        cdn = CdnReceiver(scn.overlay, "site-BOS", 7400)
+        scn.run_for(0.5)
+        tx = scn.overlay.client("site-LAX", 7500)
+        stream = CbrSource(
+            scn.sim, tx, Address(TRANSCODE_GROUP, 7300), rate_pps=50,
+            size=1200, service=ServiceSpec(link=LINK_RELIABLE),
+        ).start()
+        return scn, fac_dal, fac_stl, cdn, stream
+
+    def test_anycast_selects_one_facility(self):
+        scn, fac_dal, fac_stl, cdn, stream = self._pipeline()
+        scn.run_for(3.0)
+        assert (fac_dal.frames_transcoded == 0) != (fac_stl.frames_transcoded == 0)
+        assert len(cdn.deliveries) > 100
+
+    def test_end_to_end_latency_includes_transcode(self):
+        scn, __, __, cdn, __ = self._pipeline(seed=100)
+        scn.run_for(2.0)
+        assert min(cdn.end_to_end_latencies) > 0.005  # the transcode delay
+
+    def test_failover_to_surviving_facility(self):
+        scn, fac_dal, fac_stl, cdn, stream = self._pipeline(seed=101)
+        scn.run_for(2.0)
+        active, passive = (
+            (fac_dal, fac_stl) if fac_dal.frames_transcoded else (fac_stl, fac_dal)
+        )
+        active.fail(detection_delay=0.1)
+        scn.run_for(4.0)
+        stream.stop()
+        scn.run_for(1.0)
+        assert passive.frames_transcoded > 0, "anycast did not re-select"
+        gaps = cdn.interruptions(expected_interval=0.02)
+        assert gaps, "expected a visible interruption"
+        assert max(duration for __, duration in gaps) < 1.0

@@ -1,0 +1,81 @@
+"""Video transport applications (Sec III-A, IV-A)."""
+
+import pytest
+
+from repro.analysis.scenarios import continental_scenario
+from repro.apps.video import TS_PACKET_BYTES, VideoReceiver, VideoSource
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss
+
+
+def _bursty():
+    return GilbertElliottLoss(mean_good=2.0, mean_bad=0.04, bad_loss=0.5)
+
+
+def test_ts_packet_framing():
+    assert TS_PACKET_BYTES == 1316
+
+
+def test_broadcast_video_full_continuity_under_loss():
+    scn = continental_scenario(seed=71, loss_factory=_bursty)
+    rx_lax = VideoReceiver(scn.overlay, "site-LAX")
+    rx_mia = VideoReceiver(scn.overlay, "site-MIA")
+    scn.run_for(0.5)
+    src = VideoSource(scn.overlay, "site-NYC", rate_mbps=1.0).start()
+    scn.run_for(5.0)
+    src.stop()
+    scn.run_for(1.0)
+    for rx in (rx_lax, rx_mia):
+        quality = rx.quality(src.frames_sent)
+        # Hop-by-hop recovery repairs all *link* loss; the only frames
+        # that may slip are the handful in flight during a multicast
+        # tree change (cost-driven reroutes under the loss storms).
+        assert quality.continuity > 0.99
+        assert quality.frames_lost <= 5
+
+
+def test_live_video_uses_deadline_service():
+    scn = continental_scenario(seed=72)
+    src = VideoSource(scn.overlay, "site-NYC", live=True, deadline=0.2)
+    assert src.service.deadline == 0.2
+    assert src.service.link == "nm-strikes"
+
+
+def test_live_video_within_200ms_under_bursty_loss():
+    scn = continental_scenario(seed=73, loss_factory=_bursty)
+    rx = VideoReceiver(scn.overlay, "site-LAX", playout_delay=0.2)
+    scn.run_for(0.5)
+    src = VideoSource(scn.overlay, "site-NYC", rate_mbps=1.0, live=True).start()
+    scn.run_for(6.0)
+    src.stop()
+    scn.run_for(1.0)
+    quality = rx.quality(src.frames_sent)
+    assert quality.continuity > 0.98
+
+
+def test_video_survives_fiber_cut_with_subsecond_glitch():
+    """The availability story: a mid-stream fiber cut on the delivery
+    path costs well under a second of video."""
+    scn = continental_scenario(seed=74)
+    rx = VideoReceiver(scn.overlay, "site-LAX", playout_delay=0.5)
+    scn.run_for(0.5)
+    src = VideoSource(scn.overlay, "site-NYC", rate_mbps=1.0).start()
+    scn.run_for(2.0)
+    # Cut the fiber under the first overlay hop of the current path.
+    path = scn.overlay.overlay_path("site-NYC", "site-LAX")
+    a, b = path[0].removeprefix("site-"), path[1].removeprefix("site-")
+    scn.internet.fail_fiber("ispA", a, b)
+    scn.run_for(6.0)
+    src.stop()
+    scn.run_for(1.0)
+    quality = rx.quality(src.frames_sent)
+    assert quality.continuity > 0.95  # lost far less than the ~6 s outage window
+
+
+def test_receiver_quality_with_no_frames():
+    scn = continental_scenario(seed=75)
+    rx = VideoReceiver(scn.overlay, "site-LAX")
+    quality = rx.quality(0)
+    assert quality.frames_expected == 0
+    import math
+
+    assert math.isnan(quality.continuity)

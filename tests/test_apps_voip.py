@@ -1,0 +1,85 @@
+"""VoIP over the overlay (the [6, 7] predecessor application)."""
+
+import pytest
+
+from repro.analysis.scenarios import continental_scenario
+from repro.apps.voip import CallQuality, VoipCall, e_model, voip_service
+from repro.core.message import LINK_BEST_EFFORT, ServiceSpec
+from repro.net.loss import GilbertElliottLoss
+
+
+class TestEModel:
+    def test_perfect_call_is_toll_quality(self):
+        quality = e_model(mouth_to_ear_ms=70.0, effective_loss=0.0)
+        assert quality.mos > 4.2
+        assert quality.toll_quality
+
+    def test_loss_degrades_mos(self):
+        clean = e_model(100.0, 0.0)
+        lossy = e_model(100.0, 0.05)
+        assert lossy.mos < clean.mos
+        assert not lossy.toll_quality
+
+    def test_delay_penalty_kicks_in_past_177ms(self):
+        below = e_model(170.0, 0.0)
+        above = e_model(250.0, 0.0)
+        assert above.mos < below.mos
+
+    def test_catastrophic_loss_floors_at_one(self):
+        assert e_model(100.0, 0.9).mos == pytest.approx(1.0, abs=0.3)
+
+    def test_monotone_in_loss(self):
+        values = [e_model(100.0, p).mos for p in (0.0, 0.01, 0.03, 0.08, 0.2)]
+        assert values == sorted(values, reverse=True)
+
+
+def _bursty():
+    return GilbertElliottLoss(mean_good=1.0, mean_bad=0.04, bad_loss=0.6)
+
+
+class TestVoipCall:
+    def test_clean_network_call(self):
+        scn = continental_scenario(seed=1101)
+        call = VoipCall(scn.overlay, "site-NYC", "site-LAX").start(duration=5.0)
+        scn.run_for(6.0)
+        quality = call.quality()
+        assert quality.toll_quality
+        assert quality.effective_loss < 0.005
+
+    def test_overlay_recovery_beats_best_effort_under_loss(self):
+        """The 1-800-OVERLAYS result: the single-strike protocol keeps
+        the call at toll quality where plain transport falls below."""
+
+        def run(service, seed=1102):
+            scn = continental_scenario(seed=seed, loss_factory=_bursty)
+            call = VoipCall(scn.overlay, "site-NYC", "site-LAX",
+                            service=service).start(duration=10.0)
+            scn.run_for(12.0)
+            return call.quality()
+
+        recovered = run(voip_service())
+        plain = run(ServiceSpec(link=LINK_BEST_EFFORT))
+        assert recovered.mos > plain.mos + 0.1
+        assert recovered.effective_loss < plain.effective_loss
+
+    def test_jitter_buffer_tradeoff(self):
+        """A tiny jitter buffer converts recovery wins into late frames;
+        a generous one absorbs them (at more mouth-to-ear delay)."""
+
+        def run(buffer_s, seed=1103):
+            scn = continental_scenario(seed=seed, loss_factory=_bursty)
+            call = VoipCall(scn.overlay, "site-NYC", "site-LAX",
+                            jitter_buffer=buffer_s).start(duration=8.0)
+            scn.run_for(10.0)
+            return call.quality()
+
+        tight = run(0.030)
+        roomy = run(0.120)
+        assert roomy.effective_loss < tight.effective_loss
+        assert roomy.mouth_to_ear_ms > tight.mouth_to_ear_ms
+
+    def test_quality_requires_frames(self):
+        scn = continental_scenario(seed=1104)
+        call = VoipCall(scn.overlay, "site-NYC", "site-LAX")
+        with pytest.raises(RuntimeError):
+            call.quality()

@@ -1,0 +1,194 @@
+"""Cluster deployments (Sec II-D) and packet interception (Sec II-B)."""
+
+import pytest
+
+from repro.analysis.metrics import flow_stats
+from repro.analysis.workloads import CbrSource
+from repro.core.cluster import OverlayCluster
+from repro.core.config import OverlayConfig
+from repro.core.intercept import InterceptedSocket
+from repro.core.message import Address, LINK_IT_PRIORITY, LINK_RELIABLE, ServiceSpec
+from repro.net.topologies import line_internet, triangle_internet
+from repro.sim.events import Simulator
+from repro.sim.rng import RngRegistry
+from tests.conftest import make_triangle_overlay
+
+
+def _cluster(size, config=None, seed=701):
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    internet = line_internet(sim, rngs, n_hops=1)
+    cluster = OverlayCluster(
+        internet, ["h0", "h1"], [("h0", "h1")], size=size, config=config
+    )
+    cluster.warm_up(2.0)
+    return sim, internet, cluster
+
+
+class TestCluster:
+    def test_size_validation(self):
+        sim = Simulator()
+        internet = line_internet(sim, RngRegistry(1), n_hops=1)
+        with pytest.raises(ValueError):
+            OverlayCluster(internet, ["h0", "h1"], [("h0", "h1")], size=0)
+
+    def test_basic_delivery_through_cluster(self):
+        sim, __, cluster = _cluster(3)
+        got = []
+        cluster.client("h1", 7, on_message=got.append)
+        tx = cluster.client("h0", 8)
+        tx.send(Address("h1", 7), payload="via cluster")
+        sim.run(until=sim.now + 1.0)
+        assert len(got) == 1
+
+    def test_flows_spread_across_members(self):
+        sim, __, cluster = _cluster(3)
+        cluster.client("h1", 7, on_message=lambda m: None)
+        senders = [cluster.client("h0") for __ in range(12)]
+        members_used = {
+            cluster.member_for(s.address, Address("h1", 7)) for s in senders
+        }
+        assert len(members_used) >= 2, "hashing never spread the flows"
+
+    def test_assignment_is_deterministic(self):
+        sim, __, cluster = _cluster(3)
+        a = cluster.client("h0", 10)
+        assert cluster.member_for(a.address, Address("h1", 7)) == (
+            cluster.member_for(a.address, Address("h1", 7))
+        )
+
+    def test_cluster_multiplies_forwarding_capacity(self):
+        """Sec II-D's point: one machine saturates (2 Mbit/s access
+        pacing vs ~4.9 Mbit/s offered); a 3-machine cluster carries the
+        same offered load with each member under its own limit."""
+        config = OverlayConfig(access_capacity_bps=2_000_000.0)
+        offered_flows = 6
+        rate = 100.0  # x ~1 kB wire -> ~0.82 Mbit/s per flow
+
+        def run(size):
+            sim, __, cluster = _cluster(size, config=config, seed=702)
+            svc = ServiceSpec(link=LINK_IT_PRIORITY)
+            sources = []
+            per_member = {m: 0 for m in range(size)}
+            quota = offered_flows // size
+            for i in range(offered_flows):
+                cluster.client("h1", 7 + i, on_message=lambda m: None)
+                # Pick a sender whose flow hashes to a member with spare
+                # quota (a deployment balances assignment the same way).
+                while True:
+                    tx = cluster.client("h0")
+                    member = cluster.member_for(tx.address, Address("h1", 7 + i))
+                    if per_member[member] < quota:
+                        per_member[member] += 1
+                        break
+                    tx.close()
+                sources.append(
+                    CbrSource(sim, tx.endpoints[member], Address("h1", 7 + i),
+                              rate_pps=rate, size=1000, service=svc).start()
+                )
+            sim.run(until=sim.now + 5.0)
+            for source in sources:
+                source.stop()
+            sim.run(until=sim.now + 2.0)
+            delivered = sum(
+                len([r for m in cluster.members
+                     for r in m.trace.records if r.flow == s.flow])
+                for s in sources
+            )
+            offered = sum(s.sent for s in sources)
+            return delivered / offered
+
+        single = run(1)
+        clustered = run(3)
+        assert single < 0.75, single  # one machine drops under the load
+        assert clustered > 0.95, clustered
+
+    def test_group_membership_spans_members(self):
+        sim, __, cluster = _cluster(2)
+        got = []
+        rx = cluster.client("h1", 7, on_message=got.append)
+        rx.join("mcast:g")
+        sim.run(until=sim.now + 1.0)
+        tx = cluster.client("h0", 9)
+        tx.send(Address("mcast:g", 7))
+        sim.run(until=sim.now + 1.0)
+        assert len(got) == 1
+
+    def test_close_releases_all_members(self):
+        sim, __, cluster = _cluster(2)
+        client = cluster.client("h1", 7, on_message=lambda m: None)
+        client.close()
+        cluster.client("h1", 7, on_message=lambda m: None)  # port free again
+
+
+class TestInterception:
+    def test_unmodified_app_pattern(self):
+        """An 'application' written purely against the socket surface
+        runs over the overlay without knowing it exists."""
+        scn = make_triangle_overlay(seed=711)
+
+        class PingServer:
+            def __init__(self, sock: InterceptedSocket):
+                self.sock = sock
+                sock.bind(5000)
+                sock.on_datagram(self.handle)
+
+            def handle(self, data, addr):
+                self.sock.sendto({"pong": data["ping"]}, addr, size=100)
+
+        class PingClient:
+            def __init__(self, sock: InterceptedSocket):
+                self.sock = sock
+                self.replies = []
+                sock.bind(5001)
+                sock.on_datagram(lambda d, a: self.replies.append(d))
+
+            def ping(self, server_addr):
+                self.sock.sendto({"ping": 42}, server_addr, size=100)
+
+        server = PingServer(InterceptedSocket(scn.overlay, "hz"))
+        client = PingClient(InterceptedSocket(scn.overlay, "hx"))
+        client.ping(("hz", 5000))
+        scn.run_for(1.0)
+        assert client.replies == [{"pong": 42}]
+
+    def test_service_map_applies_operator_policy(self):
+        """The interception layer, not the app, selects overlay services
+        per destination."""
+        scn = make_triangle_overlay(seed=712, loss_rate=0.2)
+        received = []
+        rx = InterceptedSocket(scn.overlay, "hz")
+        rx.bind(5000)
+        rx.on_datagram(lambda d, a: received.append(d))
+        tx = InterceptedSocket(
+            scn.overlay, "hx",
+            service_map={("hz", 5000): ServiceSpec(link=LINK_RELIABLE)},
+        )
+        for i in range(50):
+            tx.sendto(i, ("hz", 5000), size=500)
+        scn.run_for(10.0)
+        assert sorted(received) == list(range(50))  # reliable despite loss
+
+    def test_unbound_sender_gets_ephemeral_port(self):
+        scn = make_triangle_overlay(seed=713)
+        got_from = []
+        rx = InterceptedSocket(scn.overlay, "hz")
+        rx.bind(5000)
+        rx.on_datagram(lambda d, a: got_from.append(a))
+        tx = InterceptedSocket(scn.overlay, "hx")
+        assert tx.sendto("hi", ("hz", 5000)) > 0
+        scn.run_for(1.0)
+        assert got_from and got_from[0][0] == "hx"
+
+    def test_double_bind_rejected(self):
+        scn = make_triangle_overlay(seed=714)
+        sock = InterceptedSocket(scn.overlay, "hx")
+        sock.bind(5000)
+        with pytest.raises(OSError):
+            sock.bind(5001)
+
+    def test_rejected_send_returns_zero(self):
+        scn = make_triangle_overlay(seed=715)
+        sock = InterceptedSocket(scn.overlay, "hx")
+        # Anycast group with no members: the overlay refuses the send.
+        assert sock.sendto("x", ("acast:none", 1)) == 0

@@ -1,0 +1,104 @@
+"""Dissemination graphs: structure and resilience properties."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.alg.graph import undirected
+from repro.core.dissemination import (
+    destination_problem_graph,
+    source_problem_graph,
+    src_dst_problem_graph,
+    two_disjoint_paths_graph,
+)
+
+MESH = undirected(
+    [
+        ("s", "a", 1.0), ("s", "b", 1.0), ("s", "c", 2.0),
+        ("a", "m", 1.0), ("b", "m", 1.0), ("c", "m", 2.0),
+        ("m", "x", 1.0), ("m", "y", 1.0),
+        ("x", "t", 1.0), ("y", "t", 1.0), ("c", "t", 4.0),
+        ("a", "x", 1.5), ("b", "y", 1.5),
+    ]
+)
+
+
+def _connects(edges, src, dst, removed=()):
+    g = nx.Graph(list(edges))
+    g.remove_nodes_from(removed)
+    return g.has_node(src) and g.has_node(dst) and nx.has_path(g, src, dst)
+
+
+def test_base_graph_contains_two_disjoint_paths():
+    edges = two_disjoint_paths_graph(MESH, "s", "t")
+    assert _connects(edges, "s", "t")
+    g = nx.Graph(list(edges))
+    assert nx.node_connectivity(g, "s", "t") >= 2
+
+
+def test_base_graph_empty_when_unreachable():
+    adj = {"s": {}, "t": {}}
+    assert two_disjoint_paths_graph(adj, "s", "t") == set()
+
+
+def test_source_problem_graph_fans_out_from_source():
+    edges = source_problem_graph(MESH, "s", "t")
+    source_degree = sum(1 for e in edges if "s" in e)
+    assert source_degree == len(MESH["s"]), "source should use all its links"
+
+
+def test_destination_problem_graph_fans_into_destination():
+    edges = destination_problem_graph(MESH, "s", "t")
+    dst_degree = sum(1 for e in edges if "t" in e)
+    assert dst_degree == len(MESH["t"])
+
+
+def test_src_dst_graph_is_superset_of_base():
+    base = two_disjoint_paths_graph(MESH, "s", "t")
+    full = src_dst_problem_graph(MESH, "s", "t")
+    assert base <= full
+
+
+def test_src_dst_graph_survives_any_single_interior_failure():
+    """The targeted-redundancy claim: one failed interior node cannot
+    disconnect the graph (it contains 2 node-disjoint paths)."""
+    edges = src_dst_problem_graph(MESH, "s", "t")
+    interior = {n for e in edges for n in e} - {"s", "t"}
+    for node in interior:
+        assert _connects(edges, "s", "t", removed=[node]), f"cut by {node}"
+
+
+def test_src_dst_graph_cheaper_than_flooding():
+    edges = src_dst_problem_graph(MESH, "s", "t")
+    total_links = sum(len(v) for v in MESH.values()) // 2
+    assert len(edges) < total_links
+
+
+@st.composite
+def random_2connected(draw):
+    n = draw(st.integers(min_value=4, max_value=10))
+    # Ring guarantees 2-connectivity; extras add texture.
+    edges = [(i, (i + 1) % n, 1.0) for i in range(n)]
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=8,
+        )
+    )
+    for u, v in extra:
+        if u != v:
+            edges.append((u, v, 1.0))
+    return n, edges
+
+
+@given(random_2connected())
+@settings(max_examples=40, deadline=None)
+def test_property_src_dst_graph_always_connects(graph):
+    n, edges = graph
+    adj = undirected(edges)
+    result = src_dst_problem_graph(adj, 0, n // 2)
+    if n // 2 == 0:
+        return
+    assert _connects(result, 0, n // 2)

@@ -1,0 +1,139 @@
+"""Overlay link monitoring: hellos, failure detection, carrier switching."""
+
+import pytest
+
+from repro.core.config import OverlayConfig
+from repro.net.loss import ScheduledOutages
+from tests.conftest import make_two_node_line
+
+
+def _only_link(node):
+    return next(iter(node.links.values()))
+
+
+def test_links_come_up_after_hellos():
+    scn = make_two_node_line(seed=1)
+    for node in scn.overlay.nodes.values():
+        for link in node.links.values():
+            assert link.up
+
+
+def test_latency_estimate_converges_to_hop_delay():
+    scn = make_two_node_line(seed=1, hop_delay=0.010)
+    link = _only_link(scn.overlay.nodes["h0"])
+    assert link.latency_est == pytest.approx(0.010, abs=0.001)
+
+
+def test_cost_reflects_loss_penalty():
+    lossless = make_two_node_line(seed=1)
+    lossy = make_two_node_line(seed=1, loss_rate=0.2, config=OverlayConfig())
+    lossy.run_for(10.0)
+    clean_cost = _only_link(lossless.overlay.nodes["h0"]).cost()
+    lossy_cost = _only_link(lossy.overlay.nodes["h0"]).cost()
+    assert lossy_cost > 1.5 * clean_cost
+
+
+def test_down_detection_within_subsecond(sim=None):
+    scn = make_two_node_line(seed=2)
+    link = _only_link(scn.overlay.nodes["h0"])
+    assert link.up
+    scn.internet.isps["line"].fail_link("r0", "r1")
+    fail_time = scn.sim.now
+    scn.run_for(2.0)
+    assert not link.up
+    # Detection = miss_threshold * hello_interval + one check tick.
+    config = scn.overlay.config
+    budget = config.hello_interval * (config.miss_threshold + 2)
+    # The link flipped down within the sub-second budget.
+    down_counter = scn.overlay.counters.get("link-down")
+    assert down_counter >= 2  # both sides noticed
+    assert budget < 1.0
+
+
+def test_link_recovers_after_repair():
+    scn = make_two_node_line(seed=3)
+    domain = scn.internet.isps["line"]
+    link = _only_link(scn.overlay.nodes["h0"])
+    domain.fail_link("r0", "r1")
+    scn.run_for(2.0)
+    assert not link.up
+    domain.repair_link("r0", "r1")
+    scn.run_for(domain.convergence_delay + 2.0)
+    assert link.up
+
+
+def test_no_carrier_switch_with_single_carrier():
+    from repro.core.network import OverlayNetwork
+    from repro.net.topologies import line_internet
+    from repro.sim.events import Simulator
+    from repro.sim.rng import RngRegistry
+
+    sim = Simulator()
+    rngs = RngRegistry(4)
+    internet = line_internet(sim, rngs, n_hops=1)
+    overlay = OverlayNetwork(
+        internet, ["h0", "h1"], [("h0", "h1")],
+        carriers={frozenset(("h0", "h1")): ["line"]},
+    )
+    overlay.warm_up(2.0)
+    domain = internet.isps["line"]
+    link = _only_link(overlay.nodes["h0"])
+    domain.fail_link("r0", "r1")
+    sim.run(until=sim.now + 5.0)
+    assert link.switch_count == 0  # nothing to switch to
+
+
+def test_switching_to_native_on_shared_fiber_does_not_help():
+    """The line's native carrier rides the same fiber, so carrier
+    switching alone cannot revive the link — only underlay repair can."""
+    scn = make_two_node_line(seed=4)
+    domain = scn.internet.isps["line"]
+    link = _only_link(scn.overlay.nodes["h0"])
+    domain.fail_link("r0", "r1")
+    scn.run_for(5.0)
+    assert link.switch_count >= 1
+    assert not link.up
+
+
+def test_carrier_switch_on_persistent_outage():
+    """Multihoming: when the current carrier dies, hellos move to the
+    next one and the link comes back without the underlay healing."""
+    from repro.analysis.scenarios import continental_scenario
+
+    scn = continental_scenario(seed=5)
+    node = scn.overlay.nodes["site-NYC"]
+    link = node.links["site-WAS"]
+    assert link.carrier == "ispA"
+    # Kill ispA's NYC-WAS fiber; ispA reconverges only after 10 s, but
+    # the overlay link should hop to ispB's on-net path much sooner.
+    scn.internet.fail_fiber("ispA", "NYC", "WAS")
+    scn.run_for(5.0)
+    assert link.switch_count >= 1
+    assert link.up
+    assert link.carrier != "ispA" or scn.sim.now > 100  # switched
+
+
+def test_carriers_validated_at_construction():
+    import pytest
+    from repro.core.link import OverlayLink
+    from repro.sim.events import Simulator
+
+    with pytest.raises(ValueError):
+        OverlayLink(
+            Simulator(), None, "a", "a", "b", "b", [], 0,
+            OverlayConfig(), lambda link: None,
+        )
+
+
+def test_transmit_without_wiring_raises():
+    import pytest
+    from repro.core.link import OverlayLink
+    from repro.core.message import Frame
+    from repro.sim.events import Simulator
+
+    link = OverlayLink(
+        Simulator(), None, "a", "a", "b", "b", ["x"], 0,
+        OverlayConfig(), lambda link: None,
+    )
+    with pytest.raises(RuntimeError):
+        link.transmit(Frame(proto="control", ftype="hello", src_node="a", dst_node="b"))

@@ -1,0 +1,177 @@
+"""The routing level: link index bitmasks, link-state tables, trees,
+anycast, and source-based bitmask computation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.linkstate import GroupDatabase, TopologyDatabase
+from repro.core.message import ROUTING_DISJOINT, ROUTING_FLOOD, ROUTING_GRAPH, ServiceSpec
+from repro.core.routing import LinkIndex, RoutingService
+
+LINKS = [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+
+
+def _dbs(edges, groups=None):
+    """Build consistent topology/group databases for a symmetric graph."""
+    topo = TopologyDatabase()
+    nodes = {}
+    for a, b, w in edges:
+        nodes.setdefault(a, {})[b] = w
+        nodes.setdefault(b, {})[a] = w
+    for node, nbrs in nodes.items():
+        topo.update(node, 1, nbrs)
+    gdb = GroupDatabase()
+    for node, gs in (groups or {}).items():
+        gdb.update(node, 1, gs)
+    return topo, gdb
+
+
+def _service(node, edges, groups=None, links=LINKS):
+    topo, gdb = _dbs(edges, groups)
+    return RoutingService(node, topo, gdb, LinkIndex(links))
+
+
+EDGES = [("a", "b", 1.0), ("b", "c", 1.0), ("a", "c", 3.0), ("c", "d", 1.0)]
+
+
+class TestLinkIndex:
+    def test_bits_are_stable_and_order_independent(self):
+        idx1 = LinkIndex([("a", "b"), ("b", "c")])
+        idx2 = LinkIndex([("c", "b"), ("b", "a")])
+        assert idx1.bit("a", "b") == idx2.bit("b", "a")
+        assert idx1.bit("b", "c") == idx2.bit("c", "b")
+
+    def test_duplicate_link_rejected(self):
+        with pytest.raises(ValueError):
+            LinkIndex([("a", "b"), ("b", "a")])
+
+    def test_incident(self):
+        idx = LinkIndex(LINKS)
+        nbrs = {nbr for nbr, __ in idx.incident("c")}
+        assert nbrs == {"a", "b", "d"}
+        assert idx.incident("nowhere") == []
+
+    def test_full_mask_covers_all_links(self):
+        idx = LinkIndex(LINKS)
+        assert idx.full_mask() == (1 << len(LINKS)) - 1
+
+    def test_mask_edge_roundtrip(self):
+        idx = LinkIndex(LINKS)
+        mask = idx.mask_of_edges([("b", "a"), ("c", "d")])
+        assert set(idx.edges_of_mask(mask)) == {("a", "b"), ("c", "d")}
+
+    @given(st.sets(st.sampled_from(range(len(LINKS))), max_size=len(LINKS)))
+    @settings(max_examples=30, deadline=None)
+    def test_property_mask_roundtrip(self, bits):
+        idx = LinkIndex(LINKS)
+        mask = 0
+        for b in bits:
+            mask |= 1 << b
+        assert idx.mask_of_edges(idx.edges_of_mask(mask)) == mask
+
+
+class TestLinkStateRouting:
+    def test_next_hop_follows_costs(self):
+        svc = _service("a", EDGES)
+        assert svc.next_hop("c") == "b"  # a-b-c (2.0) beats a-c (3.0)
+        assert svc.next_hop("d") == "b"
+
+    def test_next_hop_unreachable(self):
+        svc = _service("a", [("a", "b", 1.0), ("c", "d", 1.0)])
+        assert svc.next_hop("d") is None
+
+    def test_distance(self):
+        svc = _service("a", EDGES)
+        assert svc.distance("a", "d") == pytest.approx(3.0)
+        assert svc.distance("a", "a") == 0.0
+
+    def test_tables_invalidate_on_topology_change(self):
+        topo, gdb = _dbs(EDGES)
+        svc = RoutingService("a", topo, gdb, LinkIndex(LINKS))
+        assert svc.next_hop("c") == "b"
+        topo.update("b", 2, {"a": 1.0, "c": None})  # b-c went down
+        assert svc.next_hop("c") == "c"
+
+
+class TestMulticast:
+    def test_children_along_tree(self):
+        groups = {"c": ["g"], "d": ["g"]}
+        svc_a = _service("a", EDGES, groups)
+        assert svc_a.multicast_children("a", "g") == ["b"]
+        svc_b = _service("b", EDGES, groups)
+        assert svc_b.multicast_children("a", "g") == ["c"]
+        svc_c = _service("c", EDGES, groups)
+        assert svc_c.multicast_children("a", "g") == ["d"]
+
+    def test_all_nodes_compute_consistent_trees(self):
+        groups = {"c": ["g"], "d": ["g"], "a": ["g"]}
+        children = {}
+        for node in ("a", "b", "c", "d"):
+            svc = _service(node, EDGES, groups)
+            children[node] = svc.multicast_children("b", "g")
+        # Union of per-node children forms one tree rooted at b.
+        edges = {(p, c) for p, kids in children.items() for c in kids}
+        kids = [c for __, c in edges]
+        assert len(kids) == len(set(kids))
+
+    def test_empty_group(self):
+        svc = _service("a", EDGES)
+        assert svc.multicast_children("a", "nope") == []
+
+
+class TestAnycast:
+    def test_nearest_member_wins(self):
+        groups = {"b": ["g"], "d": ["g"]}
+        svc = _service("a", EDGES, groups)
+        assert svc.anycast_target("g") == "b"
+
+    def test_self_membership_preferred(self):
+        groups = {"a": ["g"], "b": ["g"]}
+        svc = _service("a", EDGES, groups)
+        assert svc.anycast_target("g") == "a"
+
+    def test_no_members(self):
+        svc = _service("a", EDGES)
+        assert svc.anycast_target("g") is None
+
+
+class TestSourceBased:
+    def test_flood_mask_is_full(self):
+        svc = _service("a", EDGES)
+        assert svc.source_bitmask("d", ServiceSpec(routing=ROUTING_FLOOD)) == (
+            svc.links.full_mask()
+        )
+
+    def test_disjoint_mask_contains_two_paths(self):
+        svc = _service("a", EDGES)
+        mask = svc.source_bitmask("c", ServiceSpec(routing=ROUTING_DISJOINT, k=2))
+        edges = set(svc.links.edges_of_mask(mask))
+        assert ("a", "b") in edges and ("b", "c") in edges and ("a", "c") in edges
+
+    def test_graph_mask_connects(self):
+        svc = _service("a", EDGES)
+        mask = svc.source_bitmask("d", ServiceSpec(routing=ROUTING_GRAPH))
+        assert mask != 0
+
+    def test_group_bitmask_unions_members(self):
+        groups = {"c": ["g"], "d": ["g"]}
+        svc = _service("a", EDGES, groups)
+        spec = ServiceSpec(routing=ROUTING_DISJOINT, k=1)
+        mask = svc.group_bitmask("g", spec)
+        assert mask >= svc.source_bitmask("c", spec)
+
+    def test_invalid_routing_name(self):
+        svc = _service("a", EDGES)
+        with pytest.raises(ValueError):
+            svc.source_bitmask("d", ServiceSpec(routing="link-state"))
+
+    def test_bitmask_neighbors_excludes_arrival(self):
+        svc = _service("c", EDGES)
+        idx = svc.links
+        mask = idx.full_mask()
+        all_nbrs = {n for n, __ in svc.bitmask_neighbors(mask)}
+        assert all_nbrs == {"a", "b", "d"}
+        without = {
+            n for n, __ in svc.bitmask_neighbors(mask, exclude_bit=idx.bit("c", "a"))
+        }
+        assert without == {"b", "d"}

@@ -1,0 +1,122 @@
+"""Flow tables (Sec II-C's flow-based processing state) and the
+network status snapshot."""
+
+from repro.core.flows import FlowTable
+from repro.core.message import (
+    Address,
+    LINK_RELIABLE,
+    OverlayMessage,
+    ROUTING_FLOOD,
+    ServiceSpec,
+)
+from tests.conftest import make_triangle_overlay
+
+
+def _msg(flow="f1", origin="a", dst=("b", 7), service=None, size=100):
+    spec = service if service is not None else ServiceSpec()
+    return OverlayMessage(
+        flow=flow, seq=0, src=Address(origin, 1), dst=Address(*dst),
+        service=spec, origin=origin, sent_at=0.0, size=size,
+    )
+
+
+class TestFlowTable:
+    def test_observation_accumulates(self):
+        table = FlowTable()
+        table.observe(_msg(), 1.0, "origin")
+        table.observe(_msg(), 2.0, "origin")
+        entry = table.entry("f1")
+        assert entry.messages == 2
+        assert entry.bytes == 200
+        assert entry.first_seen == 1.0
+        assert entry.last_seen == 2.0
+
+    def test_roles_are_tracked(self):
+        table = FlowTable()
+        table.observe(_msg(), 1.0, "origin")
+        table.observe(_msg(), 1.5, "delivered")
+        assert table.entry("f1").roles == {"origin", "delivered"}
+
+    def test_active_sorts_busiest_first(self):
+        table = FlowTable()
+        table.observe(_msg(flow="small", size=10), 1.0, "origin")
+        table.observe(_msg(flow="big", size=10_000), 1.0, "origin")
+        assert [e.flow for e in table.active(2.0)] == ["big", "small"]
+
+    def test_idle_flows_leave_active_view_and_expire(self):
+        table = FlowTable(idle_timeout=5.0)
+        table.observe(_msg(flow="old"), 0.0, "origin")
+        table.observe(_msg(flow="new"), 100.0, "origin")
+        assert [e.flow for e in table.active(101.0)] == ["new"]
+        assert table.expire(101.0) == 1
+        assert len(table) == 1
+
+    def test_aggregation_by_node_pair(self):
+        table = FlowTable()
+        table.observe(_msg(flow="f1", origin="a", dst=("b", 7)), 1.0, "origin")
+        table.observe(_msg(flow="f2", origin="a", dst=("b", 8)), 1.0, "origin")
+        table.observe(_msg(flow="f3", origin="c", dst=("b", 7)), 1.0, "origin")
+        pairs = table.by_node_pair(2.0)
+        assert pairs[("a", "b:7")]["flows"] == 1
+        assert pairs[("a", "b:8")]["flows"] == 1
+        assert pairs[("c", "b:7")]["flows"] == 1
+
+    def test_aggregation_by_service(self):
+        table = FlowTable()
+        reliable = ServiceSpec(link=LINK_RELIABLE)
+        flood = ServiceSpec(routing=ROUTING_FLOOD)
+        table.observe(_msg(flow="f1", service=reliable), 1.0, "origin")
+        table.observe(_msg(flow="f2", service=reliable), 1.0, "origin")
+        table.observe(_msg(flow="f3", service=flood), 1.0, "origin")
+        services = table.by_service(2.0)
+        assert services[("link-state", "reliable")]["flows"] == 2
+        assert services[("flood", "best-effort")]["flows"] == 1
+
+
+class TestNodeFlowIntegration:
+    def test_origin_transit_delivery_roles(self):
+        scn = make_triangle_overlay(seed=1801)
+        scn.internet.isps["tri"].fail_link("x", "z")
+        scn.run_for(8.0)  # force hx -> hy -> hz
+        got = []
+        scn.overlay.client("hz", 7, on_message=got.append)
+        tx = scn.overlay.client("hx")
+        for __ in range(5):
+            tx.send(Address("hz", 7))
+        scn.run_for(1.0)
+        assert got
+        flow = got[0].flow
+        assert "origin" in scn.overlay.nodes["hx"].flows.entry(flow).roles
+        assert "forwarded" in scn.overlay.nodes["hy"].flows.entry(flow).roles
+        assert "delivered" in scn.overlay.nodes["hz"].flows.entry(flow).roles
+
+
+class TestStatus:
+    def test_status_snapshot_shape(self):
+        scn = make_triangle_overlay(seed=1802)
+        rx = scn.overlay.client("hz", 7, on_message=lambda m: None)
+        rx.join("mcast:g")
+        scn.run_for(1.0)
+        scn.overlay.client("hx").send(Address("hz", 7))
+        scn.run_for(0.5)
+        status = scn.overlay.status()
+        assert status["converged"]
+        hz = status["nodes"]["hz"]
+        assert hz["clients"] == 1
+        assert hz["groups"] == ["mcast:g"]
+        assert hz["links"]["hx"]["up"]
+        assert status["nodes"]["hx"]["active_flows"] >= 1
+
+    def test_status_reflects_crash(self):
+        scn = make_triangle_overlay(seed=1803)
+        scn.overlay.crash("hy")
+        scn.run_for(1.0)
+        status = scn.overlay.status()
+        assert status["nodes"]["hy"]["crashed"]
+        assert not status["converged"]
+
+    def test_format_status_is_readable(self):
+        scn = make_triangle_overlay(seed=1804)
+        text = scn.overlay.format_status()
+        assert "overlay status" in text
+        assert "hx" in text and "-> hy" in text

@@ -1,0 +1,194 @@
+"""OverlayLink carrier-selection logic, exercised in isolation, plus
+PacedSender and jitter mechanics."""
+
+import random
+
+import pytest
+
+from repro.core.config import OverlayConfig
+from repro.core.link import OverlayLink, SWITCH_HYSTERESIS
+from repro.net.backbone import FWD, FiberLink
+from repro.protocols.base import PacedSender
+from repro.sim.events import Simulator
+
+
+def _bare_link(carriers=("ispA", "ispB", "native")):
+    sim = Simulator()
+    link = OverlayLink(
+        sim, None, "a", "a", "b", "b", list(carriers), 0,
+        OverlayConfig(), lambda l: None,
+    )
+    return sim, link
+
+
+def _hello(link, carrier, seq, ts, feedback=None):
+    link.on_hello({
+        "carrier": carrier, "seq": seq, "ts": ts,
+        "feedback": feedback or {},
+    })
+
+
+class TestCarrierSelection:
+    def test_link_comes_up_after_recover_threshold_hellos(self):
+        sim, link = _bare_link()
+        assert not link.up
+        for i in range(3):
+            sim.run(until=sim.now + 0.1)
+            _hello(link, "ispA", i, sim.now - 0.01)
+        assert link.up
+
+    def test_switch_uses_peer_feedback_not_incoming_quality(self):
+        """Loss is direction-specific: our incoming hellos may be clean
+        while the peer reports our outgoing carrier as terrible."""
+        sim, link = _bare_link()
+        for i in range(10):
+            sim.run(until=sim.now + 0.1)
+            feedback = {"ispA": 0.9, "ispB": 0.0, "native": 0.0}
+            for carrier in ("ispA", "ispB", "native"):
+                _hello(link, carrier, i, sim.now - 0.01, feedback)
+        sim.run(until=sim.now + 0.5)
+        link._maybe_switch_carrier()
+        assert link.carrier == "ispB"
+        assert link.switch_count >= 1
+
+    def test_no_switch_without_hysteresis_margin(self):
+        sim, link = _bare_link()
+        base = OverlayConfig().carrier_loss_switch
+        for i in range(10):
+            sim.run(until=sim.now + 0.1)
+            # Current carrier slightly over threshold, alternative only
+            # marginally better: stay put.
+            feedback = {
+                "ispA": base + 0.01,
+                "ispB": base + 0.01 - SWITCH_HYSTERESIS / 2,
+                "native": base + 0.01,
+            }
+            for carrier in ("ispA", "ispB", "native"):
+                _hello(link, carrier, i, sim.now - 0.01, feedback)
+        link._maybe_switch_carrier()
+        assert link.carrier == "ispA"
+        assert link.switch_count == 0
+
+    def test_dead_current_carrier_switches_to_live_one(self):
+        sim, link = _bare_link()
+        for i in range(10):
+            sim.run(until=sim.now + 0.1)
+            _hello(link, "ispB", i, sim.now - 0.01)  # only ispB heard
+        link._last_switch = -10.0
+        link._maybe_switch_carrier()
+        assert link.carrier == "ispB"
+
+    def test_blind_round_robin_when_everything_is_silent(self):
+        sim, link = _bare_link()
+        sim.run(until=sim.now + 2.0)
+        link._last_switch = -10.0
+        link._maybe_switch_carrier()
+        assert link.carrier == "ispB"  # probing the next candidate
+
+    def test_switch_rate_limited(self):
+        sim, link = _bare_link()
+        sim.run(until=sim.now + 2.0)
+        link._last_switch = sim.now  # just switched
+        before = link.carrier_idx
+        link._maybe_switch_carrier()
+        assert link.carrier_idx == before
+
+    def test_cost_requires_up_and_measurement(self):
+        sim, link = _bare_link()
+        assert link.cost() is None
+        for i in range(3):
+            sim.run(until=sim.now + 0.1)
+            _hello(link, "ispA", i, sim.now - 0.012)
+        cost = link.cost()
+        assert cost == pytest.approx(0.012, rel=0.05)
+
+    def test_stale_hello_seq_ignored(self):
+        sim, link = _bare_link()
+        sim.run(until=sim.now + 0.1)
+        _hello(link, "ispA", 5, sim.now - 0.01)
+        latency_after_first = link._rx["ispA"].latency_est
+        _hello(link, "ispA", 3, sim.now - 0.5)  # old, huge latency
+        assert link._rx["ispA"].latency_est == latency_after_first
+
+
+class TestPacedSender:
+    def test_serializes_at_capacity(self):
+        sim = Simulator()
+        sent = []
+        queue = [100, 100, 100]  # bytes each
+
+        def source():
+            if not queue:
+                return None
+            size = queue.pop(0)
+            return (size, lambda: sent.append(sim.now))
+
+        pacer = PacedSender(sim, capacity_bps=8000.0, source=source)  # 1 kB/s
+        pacer.kick()
+        sim.run()
+        assert sent == [pytest.approx(0.0), pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_kick_while_busy_is_noop(self):
+        sim = Simulator()
+        sent = []
+        queue = [1000]
+
+        def source():
+            if not queue:
+                return None
+            queue.pop()
+            return (1000, lambda: sent.append(sim.now))
+
+        pacer = PacedSender(sim, capacity_bps=8000.0, source=source)
+        pacer.kick()
+        pacer.kick()
+        pacer.kick()
+        sim.run()
+        assert len(sent) == 1
+
+    def test_uncapped_pacer_drains_everything_immediately(self):
+        sim = Simulator()
+        queue = list(range(5))
+        sent = []
+
+        def source():
+            if not queue:
+                return None
+            queue.pop()
+            return (1000, lambda: sent.append(sim.now))
+
+        pacer = PacedSender(sim, capacity_bps=None, source=source)
+        pacer.kick()
+        sim.run()
+        assert len(sent) == 5
+        assert all(t == 0.0 for t in sent)
+
+
+class TestJitterMechanics:
+    def test_jitter_bounds_and_distribution(self):
+        link = FiberLink("j", delay=0.010, jitter=0.005)
+        rng = random.Random(1)
+        arrivals = [link.traverse(0.0, 100, FWD, rng) for __ in range(2000)]
+        assert min(arrivals) >= 0.010
+        assert max(arrivals) <= 0.015
+        mean = sum(arrivals) / len(arrivals)
+        assert mean == pytest.approx(0.0125, abs=0.0005)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            FiberLink("j", delay=0.01, jitter=-0.001)
+
+    def test_jitter_can_reorder_packets(self):
+        from repro.analysis.scenarios import line_scenario
+        from repro.core.message import Address
+
+        scn = line_scenario(2001, n_hops=1, jitter=0.015)
+        got = []
+        scn.overlay.client("h1", 7, on_message=lambda m: got.append(m.seq))
+        tx = scn.overlay.client("h0")
+        for __ in range(200):
+            tx.send(Address("h1", 7))
+            scn.run_for(0.002)
+        scn.run_for(1.0)
+        assert sorted(got) == list(range(200))  # lossless
+        assert got != sorted(got), "15 ms jitter at 2 ms spacing must reorder"

@@ -1,0 +1,99 @@
+"""Topology design tooling: auditing and designing Sec II-A overlays."""
+
+import pytest
+
+from repro.net.design import (
+    audit_overlay,
+    candidate_links,
+    design_overlay,
+)
+from repro.net.topologies import (
+    US_CITIES,
+    continental_internet,
+    overlay_edges,
+    site_name,
+)
+from repro.sim.events import Simulator
+from repro.sim.rng import RngRegistry
+
+SITES = [site_name(c) for c in US_CITIES]
+
+
+def _internet(seed=1):
+    return continental_internet(Simulator(), RngRegistry(seed))
+
+
+def test_audit_of_the_standard_overlay():
+    internet = _internet()
+    edges = [(site_name(a), site_name(b)) for a, b in overlay_edges(["ispA", "ispB"])]
+    report = audit_overlay(internet, SITES, edges)
+    assert report.nodes == 12
+    assert report.two_connected
+    assert report.max_link_delay < 0.016
+    assert report.clique_fraction < 0.5
+    assert report.max_stretch < 2.5
+    assert report.satisfies(max_link_delay=0.016, max_stretch=2.5)
+
+
+def test_audit_flags_fragile_designs():
+    internet = _internet()
+    # A star through CHI: one dead node partitions it.
+    star = [(site_name("CHI"), site_name(c)) for c in US_CITIES if c != "CHI"]
+    report = audit_overlay(internet, SITES, star)
+    assert not report.two_connected
+    assert not report.satisfies(max_link_delay=1.0, max_stretch=100.0)
+
+
+def test_candidate_links_respect_delay_budget():
+    internet = _internet()
+    candidates = candidate_links(internet, SITES, max_link_delay=0.010)
+    for a, b in candidates:
+        report = audit_overlay(internet, [a, b], [(a, b)])
+        assert report.max_link_delay <= 0.010
+    # A tiny budget leaves only the short fibers.
+    assert len(candidates) < len(candidate_links(internet, SITES, 0.020))
+
+
+def test_designed_overlay_satisfies_all_rules():
+    internet = _internet()
+    edges = design_overlay(internet, SITES, max_link_delay=0.015, max_stretch=1.8)
+    report = audit_overlay(internet, SITES, edges)
+    assert report.two_connected
+    assert report.max_link_delay <= 0.015
+    assert report.max_stretch <= 1.8
+    assert report.clique_fraction < 1.0
+
+
+def test_design_prunes_redundant_links():
+    internet = _internet()
+    budget = 0.015
+    candidates = candidate_links(internet, SITES, budget)
+    designed = design_overlay(internet, SITES, max_link_delay=budget,
+                              max_stretch=1.8)
+    assert len(designed) < len(candidates)
+    assert set(designed) <= set(candidates)
+
+
+def test_design_rejects_impossible_budget():
+    internet = _internet()
+    with pytest.raises(ValueError):
+        design_overlay(internet, SITES, max_link_delay=0.003)
+
+
+def test_designed_overlay_actually_deploys():
+    """The designed topology works as a live overlay."""
+    from repro.core.message import Address
+    from repro.core.network import OverlayNetwork
+
+    sim = Simulator()
+    internet = continental_internet(sim, RngRegistry(7))
+    edges = design_overlay(internet, SITES, max_link_delay=0.015,
+                           max_stretch=1.8)
+    overlay = OverlayNetwork(internet, SITES, edges)
+    overlay.warm_up(2.0)
+    assert overlay.converged()
+    got = []
+    overlay.client("site-LAX", 7, on_message=got.append)
+    overlay.client("site-BOS").send(Address("site-LAX", 7))
+    sim.run(until=sim.now + 1.0)
+    assert len(got) == 1

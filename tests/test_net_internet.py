@@ -1,0 +1,146 @@
+"""The multi-ISP Internet: carriers, delivery, multihoming, and the
+slow interdomain convergence contrasted in E2/E10."""
+
+import pytest
+
+from repro.net.internet import NATIVE, Internet
+from repro.net.loss import BernoulliLoss
+from repro.net.topologies import continental_internet, line_internet, triangle_internet
+from repro.sim.events import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def _mini_internet(sim, rngs, native_delay=40.0):
+    """Two ISPs, two cities each, hosts multihomed at both cities."""
+    inet = Internet(sim, rngs, native_convergence_delay=native_delay)
+    for isp in ("A", "B"):
+        domain = inet.add_isp(isp, convergence_delay=5.0)
+        domain.add_link("east", "west", 0.020)
+    inet.add_peering("A", "east", "B", "east")
+    inet.add_peering("A", "west", "B", "west")
+    for city in ("east", "west"):
+        inet.add_host(f"h-{city}", access_delay=0.0)
+        inet.attach(f"h-{city}", "A", city)
+        inet.attach(f"h-{city}", "B", city)
+    return inet
+
+
+def test_carriers_shared_isps_then_native(sim, rngs):
+    inet = _mini_internet(sim, rngs)
+    assert inet.carriers("h-east", "h-west") == ["A", "B", NATIVE]
+
+
+def test_reserved_isp_name(sim, rngs):
+    inet = Internet(sim, rngs)
+    with pytest.raises(ValueError):
+        inet.add_isp(NATIVE)
+
+
+def test_duplicate_isp_and_host_rejected(sim, rngs):
+    inet = Internet(sim, rngs)
+    inet.add_isp("A")
+    with pytest.raises(ValueError):
+        inet.add_isp("A")
+    inet.add_host("h")
+    with pytest.raises(ValueError):
+        inet.add_host("h")
+
+
+def test_on_net_delivery_delay(sim, rngs):
+    inet = _mini_internet(sim, rngs)
+    arrivals = []
+    inet.send("h-east", "h-west", None, 100, "A", lambda d: arrivals.append(sim.now))
+    sim.run()
+    assert arrivals == [pytest.approx(0.020)]
+
+
+def test_unshared_carrier_rejected(sim, rngs):
+    inet = _mini_internet(sim, rngs)
+    inet.add_host("lonely", access_delay=0.0)
+    inet.attach("lonely", "A", "east")
+    with pytest.raises(ValueError):
+        inet.send("lonely", "h-west", None, 10, "B", lambda d: None)
+
+
+def test_native_path_crosses_peering_if_needed(sim, rngs):
+    inet = _mini_internet(sim, rngs)
+    route = inet.current_route("h-east", "h-west", NATIVE)
+    assert route is not None
+    assert route[0] == ("A", "east")
+
+
+def test_native_reconverges_slowly(sim, rngs):
+    inet = _mini_internet(sim, rngs, native_delay=40.0)
+    inet.native  # force build
+    drops, arrivals = [], []
+
+    def probe():
+        inet.send(
+            "h-east", "h-west", None, 10, NATIVE,
+            lambda d: arrivals.append(sim.now),
+            lambda d, r: drops.append(sim.now),
+        )
+
+    for i in range(100):
+        sim.schedule_at(i * 1.0, probe)
+    sim.schedule_at(5.5, lambda: inet.fail_fiber("A", "east", "west"))
+    sim.run(until=99.5)
+    # Probes die from t=6 until interdomain convergence at ~45.5 s, then
+    # recover via ISP B's fiber (through a peering point).
+    assert drops, "no drops observed during the outage"
+    assert min(drops) >= 5.9
+    recovery = min(t for t in arrivals if t > 6.0)
+    assert 45.0 < recovery < 48.0
+
+
+def test_fiber_route_lists_shared_fibers(sim, rngs):
+    inet = _mini_internet(sim, rngs)
+    fibers_a = inet.fiber_route("h-east", "h-west", "A")
+    fibers_b = inet.fiber_route("h-east", "h-west", "B")
+    assert len(fibers_a) == 1 and len(fibers_b) == 1
+    assert fibers_a[0] is not fibers_b[0], "carriers must use disjoint fiber"
+
+
+def test_set_isp_loss_applies_fresh_models(sim, rngs):
+    inet = _mini_internet(sim, rngs)
+    inet.set_isp_loss("A", lambda: BernoulliLoss(1.0))
+    drops = []
+    inet.send("h-east", "h-west", None, 10, "A", lambda d: None,
+              lambda d, r: drops.append(r))
+    sim.run()
+    assert drops == ["link-loss"]
+
+
+def test_continental_internet_builds(sim, rngs):
+    inet = continental_internet(sim, rngs)
+    assert set(inet.isps) == {"ispA", "ispB"}
+    assert "site-NYC" in inet.hosts
+    assert inet.carriers("site-NYC", "site-LAX") == ["ispA", "ispB", NATIVE]
+    route = inet.current_route("site-NYC", "site-LAX", "ispA")
+    assert route[0] == "NYC" and route[-1] == "LAX"
+
+
+def test_continental_three_isps(sim, rngs):
+    inet = continental_internet(sim, rngs, isps=["ispA", "ispB", "ispC"])
+    assert len(inet.carriers("site-NYC", "site-LAX")) == 4
+
+
+def test_line_internet_end_to_end_delay(sim, rngs):
+    inet = line_internet(sim, rngs, n_hops=5, hop_delay=0.010)
+    arrivals = []
+    inet.send("h0", "h5", None, 10, "line", lambda d: arrivals.append(sim.now))
+    sim.run()
+    assert arrivals == [pytest.approx(0.050)]
+
+
+def test_triangle_internet(sim, rngs):
+    inet = triangle_internet(sim, rngs)
+    assert inet.current_route("hx", "hz", "tri") == ["x", "z"]
+
+
+def test_counters_track_sends_and_drops(sim, rngs):
+    inet = _mini_internet(sim, rngs)
+    inet.send("h-east", "h-west", None, 10, "A", lambda d: None)
+    sim.run()
+    assert inet.counters.get("datagrams-sent") == 1
+    assert inet.counters.get("datagrams-delivered") == 1

@@ -1,0 +1,81 @@
+"""Topology builders: geographic sanity and the Sec II-A design rules."""
+
+import pytest
+
+import networkx as nx
+
+from repro.net.topologies import (
+    ISP_FOOTPRINTS,
+    US_CITIES,
+    city_link_delay,
+    haversine_km,
+    overlay_edges,
+)
+
+
+def test_haversine_known_distance():
+    # NYC to LAX great-circle distance is ~3940 km.
+    km = haversine_km(US_CITIES["NYC"], US_CITIES["LAX"])
+    assert 3800 < km < 4100
+
+
+def test_haversine_zero_for_same_point():
+    assert haversine_km(US_CITIES["NYC"], US_CITIES["NYC"]) == pytest.approx(0.0)
+
+
+def test_link_delays_are_short():
+    """Sec II-A: overlay links should be on the order of 10 ms."""
+    delays = [
+        city_link_delay(a, b) for footprint in ISP_FOOTPRINTS.values()
+        for a, b in footprint
+    ]
+    assert all(0.001 < d < 0.016 for d in delays), sorted(d * 1000 for d in delays)
+
+
+def test_coast_to_coast_propagation_scale():
+    """Sec II-D: crossing the continent is ~35-40 ms of propagation.
+
+    Fiber-route NYC->LAX one-way should land in the 20-30 ms range for
+    the direct geodesic; multi-hop paths through the footprints add more.
+    """
+    assert 0.018 < city_link_delay("NYC", "LAX") < 0.030
+
+
+def test_footprints_reference_known_cities():
+    for footprint in ISP_FOOTPRINTS.values():
+        for a, b in footprint:
+            assert a in US_CITIES and b in US_CITIES
+
+
+def test_footprints_are_connected():
+    for name, footprint in ISP_FOOTPRINTS.items():
+        g = nx.Graph(footprint)
+        assert nx.is_connected(g), f"{name} backbone is partitioned"
+
+
+def test_footprints_are_2_connected():
+    """Fig 1's resilient architecture: no single fiber cut should
+    partition a backbone."""
+    for name, footprint in ISP_FOOTPRINTS.items():
+        g = nx.Graph(footprint)
+        assert nx.edge_connectivity(g) >= 2, f"{name} has a bridge link"
+
+
+def test_footprints_differ():
+    sets = [frozenset(map(frozenset, fp)) for fp in ISP_FOOTPRINTS.values()]
+    assert len(set(sets)) == len(sets), "ISP footprints should not be identical"
+
+
+def test_overlay_edges_union_of_footprints():
+    edges = overlay_edges(["ispA", "ispB"])
+    pairs = {frozenset(e) for e in edges}
+    assert frozenset(("STL", "WAS")) in pairs  # ispB-only link
+    assert frozenset(("CHI", "WAS")) in pairs  # ispA-only link
+    # Not a clique (Sec II-A advises against it).
+    n = len(US_CITIES)
+    assert len(edges) < n * (n - 1) // 2
+
+
+def test_overlay_is_well_connected():
+    g = nx.Graph(overlay_edges())
+    assert nx.node_connectivity(g) >= 2

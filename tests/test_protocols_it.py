@@ -1,0 +1,193 @@
+"""Intrusion-tolerant Priority/Reliable messaging and the FIFO baseline:
+fairness under resource-consumption attack, priority drops, and
+hop-by-hop backpressure (Sec IV-B)."""
+
+import pytest
+
+from repro.analysis.metrics import flow_stats
+from repro.analysis.workloads import CbrSource
+from repro.core.config import OverlayConfig
+from repro.core.message import (
+    Address,
+    LINK_FIFO,
+    LINK_IT_PRIORITY,
+    LINK_IT_RELIABLE,
+    ServiceSpec,
+)
+from tests.conftest import make_two_node_line
+
+
+def _capacity_config(bps=2_000_000.0):
+    """A tight access capacity so contention (and thus scheduling
+    policy) matters."""
+    return OverlayConfig(access_capacity_bps=bps)
+
+
+def _attack_scenario(link_protocol, seed=51, attack_rate=2000.0, good_rate=50.0):
+    """One correct source and one flooding source share the h0->h1 link."""
+    scn = make_two_node_line(seed=seed, config=_capacity_config())
+    sim = scn.sim
+    overlay = scn.overlay
+    overlay.client("h1", 7, on_message=lambda m: None)
+    overlay.client("h1", 8, on_message=lambda m: None)
+    good_tx = overlay.client("h0")
+    evil_tx = overlay.client("h0")
+    svc = ServiceSpec(link=link_protocol)
+    good = CbrSource(sim, good_tx, Address("h1", 7), rate_pps=good_rate,
+                     size=1000, service=svc).start()
+    evil = CbrSource(sim, evil_tx, Address("h1", 8), rate_pps=attack_rate,
+                     size=1000, service=svc).start()
+    scn.run_for(5.0)
+    good.stop()
+    evil.stop()
+    scn.run_for(2.0)
+    good_stats = flow_stats(overlay.trace, good.flow, "h1:7")
+    return scn, good_stats
+
+
+def test_it_priority_protects_correct_sources_from_flooder():
+    __, good = _attack_scenario(LINK_IT_PRIORITY)
+    assert good.delivery_ratio > 0.95
+    assert good.latency.p99 < 0.1
+
+
+def test_fifo_baseline_collapses_under_flooder():
+    __, good = _attack_scenario(LINK_FIFO)
+    assert good.delivery_ratio < 0.5  # starved by the shared queue
+
+
+def test_it_priority_flooder_only_hurts_itself():
+    scn, __ = _attack_scenario(LINK_IT_PRIORITY)
+    assert scn.overlay.counters.get("it-priority-dropped") > 0
+
+
+def test_it_priority_priority_drop_policy():
+    """When a source overflows its own buffer, its *lowest priority,
+    oldest* messages go first."""
+    scn = make_two_node_line(seed=52, config=_capacity_config(bps=400_000.0))
+    got = []
+    scn.overlay.client("h1", 7, on_message=lambda m: got.append(m.service.priority))
+    tx = scn.overlay.client("h0")
+    low = ServiceSpec(link=LINK_IT_PRIORITY, priority=1)
+    high = ServiceSpec(link=LINK_IT_PRIORITY, priority=9)
+    # Burst far beyond the 64-message source buffer, alternating.
+    for i in range(300):
+        tx.send(Address("h1", 7), service=low if i % 2 else high)
+    scn.run_for(10.0)
+    assert scn.overlay.counters.get("it-priority-dropped") > 0
+    survivors_high = sum(1 for p in got if p == 9)
+    survivors_low = sum(1 for p in got if p == 1)
+    assert survivors_high > survivors_low
+
+
+def test_it_priority_low_priority_never_evicts_high():
+    scn = make_two_node_line(seed=53, config=_capacity_config(bps=100_000.0))
+    got = []
+    scn.overlay.client("h1", 7, on_message=lambda m: got.append(m.service.priority))
+    tx = scn.overlay.client("h0")
+    high = ServiceSpec(link=LINK_IT_PRIORITY, priority=9)
+    low = ServiceSpec(link=LINK_IT_PRIORITY, priority=1)
+    for __ in range(64):  # fill the buffer with high priority
+        tx.send(Address("h1", 7), service=high)
+    for __ in range(100):  # these should all be refused entry
+        tx.send(Address("h1", 7), service=low)
+    scn.run_for(20.0)
+    assert sum(1 for p in got if p == 9) == 64
+
+
+class TestITReliable:
+    def test_reliable_delivery_under_loss(self):
+        scn = make_two_node_line(seed=54, loss_rate=0.1,
+                                 config=_capacity_config())
+        got = []
+        scn.overlay.client("h1", 7, on_message=lambda m: got.append(m.seq))
+        tx = scn.overlay.client("h0")
+        svc = ServiceSpec(link=LINK_IT_RELIABLE, ordered=True)
+        source = CbrSource(
+            scn.sim, tx, Address("h1", 7), rate_pps=50.0, service=svc
+        ).start()
+        scn.run_for(2.0)
+        source.stop()
+        scn.run_for(10.0)
+        assert got == list(range(source.sent))
+        assert source.sent >= 95  # backpressure never engaged at this rate
+
+    def test_backpressure_rejects_at_source_when_flow_saturated(self):
+        """A flow whose destination cannot drain must see sends refused
+        at the origin (buffer bound + no acks = closed window)."""
+        scn = make_two_node_line(seed=55, config=_capacity_config(bps=50_000.0))
+        scn.overlay.client("h1", 7, on_message=lambda m: None)
+        tx = scn.overlay.client("h0")
+        svc = ServiceSpec(link=LINK_IT_RELIABLE)
+        accepted = sum(
+            tx.send(Address("h1", 7), size=1000, service=svc) for __ in range(500)
+        )
+        assert accepted < 500
+        assert scn.overlay.counters.get("it-reliable-backpressure") > 0
+
+    def test_backpressure_releases_as_flow_drains(self):
+        scn = make_two_node_line(seed=56, config=_capacity_config(bps=200_000.0))
+        scn.overlay.client("h1", 7, on_message=lambda m: None)
+        tx = scn.overlay.client("h0")
+        svc = ServiceSpec(link=LINK_IT_RELIABLE)
+        refused_once = False
+        sent = 0
+        for round_idx in range(20):
+            for __ in range(50):
+                if tx.send(Address("h1", 7), size=1000, service=svc):
+                    sent += 1
+                else:
+                    refused_once = True
+            scn.run_for(1.0)
+        assert refused_once
+        assert sent > 500  # drained windows reopened
+
+    def test_per_flow_isolation(self):
+        """A stalled flow (receiver gone) must not block other flows on
+        the same link — per-flow storage, Sec IV-B."""
+        scn = make_two_node_line(seed=57, config=_capacity_config())
+        got = []
+        scn.overlay.client("h1", 7, on_message=lambda m: got.append(m.seq))
+        # port 9 has NO client: that flow's deliveries vanish, but acks
+        # still flow (accepted-at-destination), so instead stall by
+        # saturating a slow link with a fat flow.
+        tx_good = scn.overlay.client("h0")
+        tx_stalled = scn.overlay.client("h0")
+        svc = ServiceSpec(link=LINK_IT_RELIABLE)
+        for __ in range(200):
+            tx_stalled.send(Address("h1", 9), size=1000, service=svc)
+        for __ in range(50):
+            tx_good.send(Address("h1", 7), size=200, service=svc)
+        scn.run_for(15.0)
+        assert sorted(got) == list(range(50))
+
+    def test_retransmission_on_ack_loss(self):
+        scn = make_two_node_line(seed=58, loss_rate=0.25,
+                                 config=_capacity_config())
+        got = []
+        scn.overlay.client("h1", 7, on_message=lambda m: got.append(m.seq))
+        tx = scn.overlay.client("h0")
+        svc = ServiceSpec(link=LINK_IT_RELIABLE)
+        for __ in range(60):
+            tx.send(Address("h1", 7), service=svc)
+        scn.run_for(20.0)
+        assert sorted(set(got)) == list(range(60))
+        assert len(got) == len(set(got)), "duplicates leaked to the client"
+        assert scn.overlay.counters.get("it-reliable-retransmit") > 0
+
+
+def test_crypto_verify_delay_charged_per_hop():
+    slow = OverlayConfig(access_capacity_bps=None, crypto_verify_delay=0.005)
+    fast = OverlayConfig(access_capacity_bps=None, crypto_verify_delay=0.0)
+
+    def latency(config, seed=59):
+        scn = make_two_node_line(seed=seed, config=config)
+        got = []
+        scn.overlay.client("h1", 7, on_message=lambda m: got.append(scn.sim.now - m.sent_at))
+        scn.overlay.client("h0").send(
+            Address("h1", 7), service=ServiceSpec(link=LINK_IT_PRIORITY)
+        )
+        scn.run_for(1.0)
+        return got[0]
+
+    assert latency(slow) - latency(fast) == pytest.approx(0.005, abs=0.001)

@@ -1,0 +1,51 @@
+"""Unit tests for trace records and counters."""
+
+import math
+
+from repro.sim.trace import Counter, DeliveryRecord, TraceCollector
+
+
+def test_delivery_record_latency():
+    record = DeliveryRecord("f", 0, sent_at=1.0, delivered_at=1.25, destination="d")
+    assert record.delivered
+    assert record.latency == 0.25
+
+
+def test_undelivered_record_has_no_latency():
+    record = DeliveryRecord("f", 0, sent_at=1.0, delivered_at=None, destination="d")
+    assert not record.delivered
+    assert record.latency is None
+    assert not record.within(10.0)
+
+
+def test_within_deadline_boundary():
+    record = DeliveryRecord("f", 0, sent_at=0.0, delivered_at=0.2, destination="d")
+    assert record.within(0.2)
+    assert not record.within(0.19)
+
+
+def test_counter_accumulates():
+    counter = Counter()
+    counter.add("x")
+    counter.add("x", 2.5)
+    assert counter.get("x") == 3.5
+    assert counter.get("missing") == 0.0
+    assert counter.as_dict() == {"x": 3.5}
+
+
+def test_trace_filters_by_flow_and_destination():
+    trace = TraceCollector()
+    trace.record_delivery("f1", 0, 0.0, 0.1, "a")
+    trace.record_delivery("f1", 1, 0.0, 0.1, "b")
+    trace.record_delivery("f2", 0, 0.0, 0.1, "a")
+    assert len(trace.for_flow("f1")) == 2
+    assert len(trace.for_destination("a")) == 2
+
+
+def test_trace_send_records():
+    trace = TraceCollector()
+    trace.record_send("f1", 0, 1.0, 100, "dst")
+    trace.record_send("f2", 0, 1.0, 100, "dst")
+    sends = trace.sends_for_flow("f1")
+    assert len(sends) == 1
+    assert sends[0].seq == 0

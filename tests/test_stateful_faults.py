@@ -1,0 +1,103 @@
+"""Hypothesis stateful testing: random interleavings of failures,
+repairs, crashes, recoveries, and traffic must never corrupt the
+overlay — and once everything heals, full service must return."""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+import hypothesis.strategies as st
+
+from repro.analysis.scenarios import triangle_scenario
+from repro.core.message import Address
+
+NODES = ["hx", "hy", "hz"]
+FIBERS = [("x", "y"), ("y", "z"), ("x", "z")]
+
+
+class OverlayFaultMachine(RuleBasedStateMachine):
+    """Drives one triangle overlay through arbitrary fault schedules."""
+
+    def __init__(self):
+        super().__init__()
+        self.scn = triangle_scenario(seed=4001)
+        self.overlay = self.scn.overlay
+        self.crashed: set[str] = set()
+        self.failed_fibers: set[tuple[str, str]] = set()
+        self.received: list[int] = []
+        self.sent = 0
+        self.rx = self.overlay.client("hz", 7,
+                                      on_message=lambda m: self.received.append(m.seq))
+        self.tx = self.overlay.client("hx", 8)
+
+    # ------------------------------------------------------------ rules
+
+    @rule(node=st.sampled_from(["hy"]))  # keep the endpoints alive
+    def crash_node(self, node):
+        if node not in self.crashed:
+            self.overlay.crash(node)
+            self.crashed.add(node)
+        self.scn.run_for(0.3)
+
+    @rule(node=st.sampled_from(["hy"]))
+    def recover_node(self, node):
+        if node in self.crashed:
+            self.overlay.recover(node)
+            self.crashed.discard(node)
+        self.scn.run_for(0.3)
+
+    @rule(fiber=st.sampled_from(FIBERS))
+    def fail_fiber(self, fiber):
+        if fiber not in self.failed_fibers and len(self.failed_fibers) < 2:
+            self.scn.internet.fail_fiber("tri", *fiber)
+            self.failed_fibers.add(fiber)
+        self.scn.run_for(0.3)
+
+    @rule(fiber=st.sampled_from(FIBERS))
+    def repair_fiber(self, fiber):
+        if fiber in self.failed_fibers:
+            self.scn.internet.repair_fiber("tri", *fiber)
+            self.failed_fibers.discard(fiber)
+        self.scn.run_for(0.3)
+
+    @rule(count=st.integers(min_value=1, max_value=5))
+    def send_traffic(self, count):
+        for __ in range(count):
+            if self.tx.send(Address("hz", 7)):
+                self.sent += 1
+        self.scn.run_for(0.2)
+
+    @rule()
+    def let_time_pass(self):
+        self.scn.run_for(1.0)
+
+    # -------------------------------------------------------- invariants
+
+    @invariant()
+    def no_duplicate_deliveries(self):
+        assert len(self.received) == len(set(self.received))
+
+    @invariant()
+    def counters_show_no_corruption(self):
+        assert self.overlay.counters.get("unknown-control") == 0
+
+    def teardown(self):
+        # Heal everything, settle past the underlay convergence delay,
+        # and demand full service back.
+        for fiber in list(self.failed_fibers):
+            self.scn.internet.repair_fiber("tri", *fiber)
+        for node in list(self.crashed):
+            self.overlay.recover(node)
+        convergence = self.scn.internet.isps["tri"].convergence_delay
+        self.scn.run_for(convergence + 5.0)
+        assert self.overlay.converged()
+        before = len(self.received)
+        for __ in range(5):
+            assert self.tx.send(Address("hz", 7))
+            self.scn.run_for(0.1)
+        self.scn.run_for(1.0)
+        assert len(self.received) == before + 5
+
+
+OverlayFaultMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=12, deadline=None
+)
+TestOverlayFaults = OverlayFaultMachine.TestCase
