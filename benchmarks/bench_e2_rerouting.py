@@ -61,11 +61,15 @@ def run_rerouting() -> dict:
         gaps = availability_gaps(records, expected_interval=1.0 / RATE)
         return max((d for __, d in gaps), default=0.0)
 
+    counters = overlay.counters.as_dict()
     return {
         "overlay_outage_s": longest_gap(overlay_times),
         "native_outage_s": longest_gap(native_times),
         "cut_fiber": f"{isp}:{a}-{b}",
         "cut_at_s": cut_at,
+        "route_computes": counters.get("route.compute", 0),
+        "route_hits": counters.get("route.hit", 0),
+        "route_evictions": counters.get("route.evict", 0),
     }
 
 
@@ -83,3 +87,8 @@ def bench_e2_overlay_vs_native_rerouting(benchmark):
     assert 0.0 < result["overlay_outage_s"] < 1.0
     assert result["native_outage_s"] > 0.8 * NATIVE_CONVERGENCE
     assert result["native_outage_s"] > 30 * result["overlay_outage_s"]
+    # The rerouting itself rides the shared route-compute engine: the
+    # fiber cut moves the topology fingerprint, every node recomputes
+    # once per artifact, and converged replicas hit each other's work.
+    assert result["route_computes"] > 0
+    assert result["route_hits"] > result["route_computes"]

@@ -7,22 +7,24 @@ routing service (Connectivity Graph Maintenance feeds the adjacency).
 from __future__ import annotations
 
 import heapq
-from typing import Hashable
+from types import MappingProxyType
+from typing import Hashable, Mapping
 
 Node = Hashable
 
 _UNREACHED = float("inf")
 
 
-def dijkstra(adj: dict, src: Node) -> tuple[dict, dict]:
+def dijkstra(adj: dict, src: Node) -> tuple[Mapping, Mapping]:
     """Single-source shortest distances and predecessors.
 
     Returns ``(dist, prev)`` where ``dist[v]`` is the shortest distance
     from ``src`` and ``prev[v]`` the predecessor of ``v`` on that path.
-    Unreachable nodes are absent from both mappings.
+    Unreachable nodes are absent from both mappings. Both are returned
+    as immutable views safe to cache and share across consumers.
     """
     if src not in adj:
-        return ({src: 0.0}, {})
+        return (MappingProxyType({src: 0.0}), MappingProxyType({}))
     dist: dict = {src: 0.0}
     prev: dict = {}
     done: set = set()
@@ -42,7 +44,7 @@ def dijkstra(adj: dict, src: Node) -> tuple[dict, dict]:
                 prev[v] = u
                 heapq.heappush(heap, (nd, counter, v))
                 counter += 1
-    return dist, prev
+    return MappingProxyType(dist), MappingProxyType(prev)
 
 
 def extract_path(prev: dict, src: Node, dst: Node) -> list | None:
@@ -87,10 +89,11 @@ def all_shortest_paths(adj: dict) -> dict:
     return {src: shortest_path_tree(adj, src) for src in adj}
 
 
-def next_hops(adj: dict, dst: Node) -> dict:
+def next_hops(adj: dict, dst: Node) -> Mapping:
     """Routing table toward ``dst``: for every node, the next hop on its
     shortest path to ``dst``. Computed by running Dijkstra from ``dst``
-    on the reversed graph (correct for asymmetric weights too).
+    on the reversed graph (correct for asymmetric weights too). Returned
+    as an immutable view safe to cache and share across consumers.
     """
     reversed_adj: dict = {u: {} for u in adj}
     for u, nbrs in adj.items():
@@ -101,4 +104,4 @@ def next_hops(adj: dict, dst: Node) -> dict:
     for node in prev:
         # prev in the reversed graph is the next hop in the forward graph.
         table[node] = prev[node]
-    return table
+    return MappingProxyType(table)

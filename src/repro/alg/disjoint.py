@@ -71,20 +71,23 @@ def _bellman_ford(residual: dict, src, dst):
     return path
 
 
-def node_disjoint_paths(adj: dict, src: Node, dst: Node, k: int) -> list[list]:
+def node_disjoint_paths(
+    adj: dict, src: Node, dst: Node, k: int
+) -> tuple[tuple, ...]:
     """Up to ``k`` minimum-total-cost node-disjoint paths from ``src`` to
     ``dst``. Returns fewer than ``k`` paths if the graph does not contain
-    ``k`` node-disjoint paths (and ``[]`` if ``dst`` is unreachable).
+    ``k`` node-disjoint paths (and ``()`` if ``dst`` is unreachable).
 
-    Paths are node paths including both endpoints; interior nodes are
-    pairwise disjoint across the returned paths.
+    Paths are node tuples including both endpoints; interior nodes are
+    pairwise disjoint across the returned paths. The result is immutable
+    and safe to cache and share across consumers.
     """
     if k <= 0:
-        return []
+        return ()
     if src == dst:
         raise ValueError("source and destination must differ")
     if src not in adj or dst not in adj:
-        return []
+        return ()
     residual = _build_split_graph(adj, src, dst)
     s, t = (src, _IN), (dst, _OUT)
     pushed = 0
@@ -109,7 +112,7 @@ def _decompose_paths(residual: dict, adj: dict, src: Node, dst: Node, flow: int)
             back = residual[(v, _IN)].get((u, _OUT))
             if back is not None and back[0] > 0:
                 used.setdefault(u, []).append(v)
-    paths: list[list] = []
+    paths: list[tuple] = []
     for __ in range(flow):
         path = [src]
         node = src
@@ -117,5 +120,5 @@ def _decompose_paths(residual: dict, adj: dict, src: Node, dst: Node, flow: int)
             nxt = used[node].pop()
             path.append(nxt)
             node = nxt
-        paths.append(path)
-    return paths
+        paths.append(tuple(path))
+    return tuple(paths)

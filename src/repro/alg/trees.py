@@ -9,19 +9,22 @@ source, which the routing level turns into per-hop forwarding decisions.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from types import MappingProxyType
+from typing import Hashable, Iterable, Mapping
 
 from repro.alg.dijkstra import extract_path, dijkstra
 
 Node = Hashable
 
 
-def multicast_tree(adj: dict, source: Node, members: Iterable[Node]) -> dict:
+def multicast_tree(adj: dict, source: Node, members: Iterable[Node]) -> Mapping:
     """Shortest-path tree from ``source`` spanning ``members``.
 
     Returns a ``children`` mapping containing every tree node (leaves map
-    to ``[]``). Members unreachable from ``source`` are silently omitted
+    to ``()``). Members unreachable from ``source`` are silently omitted
     (the connectivity graph will heal and the tree will be recomputed).
+    The result is an immutable view (node -> tuple of children) safe to
+    cache and share across every node forwarding along the tree.
     """
     __, prev = dijkstra(adj, source)
     children: dict = {source: []}
@@ -36,7 +39,7 @@ def multicast_tree(adj: dict, source: Node, members: Iterable[Node]) -> dict:
             if child not in kids:
                 kids.append(child)
             children.setdefault(child, [])
-    return children
+    return MappingProxyType({node: tuple(kids) for node, kids in children.items()})
 
 
 def tree_edges(children: dict) -> set[tuple[Node, Node]]:

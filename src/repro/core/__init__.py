@@ -6,9 +6,12 @@ The overlay node software architecture (Fig 2) has three levels:
   :mod:`repro.core.client`) — client connections, one flow per
   connection, per-flow service selection, egress ordering/playout.
 * **Routing level** (:mod:`repro.core.routing`,
-  :mod:`repro.core.linkstate`, :mod:`repro.core.groups`) — Link-State
+  :mod:`repro.core.linkstate`, :mod:`repro.core.compute`) — Link-State
   and Source-Based (bitmask) routing over shared global state:
-  the Connectivity Graph and the Group State.
+  the Connectivity Graph and the Group State, with route artifacts
+  computed once per content fingerprint by the network-wide
+  :class:`repro.core.compute.RouteComputeEngine` and shared by every
+  converged replica.
 * **Link level** (:mod:`repro.core.link`, :mod:`repro.protocols`) — one
   protocol instance per (neighbor, protocol) aggregate, transmitting
   over the underlay via a selected carrier (multihoming).
@@ -17,6 +20,7 @@ The overlay node software architecture (Fig 2) has three levels:
 top of a :class:`repro.net.internet.Internet`.
 """
 
+from repro.core.compute import RouteComputeEngine
 from repro.core.config import OverlayConfig
 from repro.core.message import Address, OverlayMessage, ServiceSpec
 from repro.core.network import OverlayNetwork
@@ -27,4 +31,5 @@ __all__ = [
     "ServiceSpec",
     "OverlayConfig",
     "OverlayNetwork",
+    "RouteComputeEngine",
 ]

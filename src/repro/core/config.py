@@ -39,6 +39,14 @@ class OverlayConfig:
             ``None`` disables pacing.
         crypto_sign_delay / crypto_verify_delay: Per-message CPU cost of
             authentication in the intrusion-tolerant protocols.
+        route_cache_size: Fingerprint generations kept by the shared
+            :class:`repro.core.compute.RouteComputeEngine` (bounded LRU;
+            churn-heavy scenarios evict old topologies instead of
+            growing without limit).
+        route_debug_check: Debug mode — the engine computes every fresh
+            routing artifact twice and asserts the results are equal,
+            guarding the determinism that route sharing (and hop-by-hop
+            multicast) requires.
     """
 
     hello_interval: float = 0.1
@@ -55,5 +63,7 @@ class OverlayConfig:
     access_capacity_bps: float | None = 10_000_000.0
     crypto_sign_delay: float = 0.0
     crypto_verify_delay: float = 0.0
+    route_cache_size: int = 128
+    route_debug_check: bool = False
     #: Extra per-protocol defaults, e.g. {"nm-strikes": {"n": 3, "m": 2}}.
     protocol_defaults: dict = field(default_factory=dict)

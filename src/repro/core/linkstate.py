@@ -10,7 +10,24 @@ the basis of sub-second rerouting.
 
 from __future__ import annotations
 
-from typing import Hashable
+import hashlib
+from types import MappingProxyType
+from typing import Hashable, Mapping
+
+
+def content_digest(payload: object) -> int:
+    """128-bit content digest of a canonical (repr-stable) payload.
+
+    Used to fingerprint replica *content*: two replicas that hold the
+    same records hash equal regardless of the order updates arrived in
+    or how many redundant updates each one processed. Stable across
+    processes and runs (unlike builtin ``hash``, which is salted).
+    """
+    blob = repr(payload).encode()
+    return int.from_bytes(hashlib.blake2b(blob, digest_size=16).digest(), "big")
+
+
+_NEVER = object()  # sentinel: cached view not built yet
 
 
 class TopologyDatabase:
@@ -20,24 +37,54 @@ class TopologyDatabase:
     view ``{neighbor: cost-or-None}`` (``None`` = link down) and a
     sequence number. Higher sequence numbers win; stale or duplicate
     updates are ignored (and not re-flooded).
+
+    Alongside the local ``version`` counter (which ticks on *every*
+    accepted update) the database maintains an incrementally-updated
+    content :attr:`fingerprint` covering only the link-state content —
+    not sequence numbers, not arrival order. Two replicas that have
+    converged on the same connectivity graph therefore expose the same
+    fingerprint even though their version counters differ, which is the
+    cache key contract :class:`repro.core.compute.RouteComputeEngine`
+    relies on. A periodic refresh update that re-announces unchanged
+    costs bumps ``version`` but leaves the fingerprint (and thus every
+    derived routing artifact) intact.
     """
 
     def __init__(self) -> None:
         self._records: dict[str, tuple[int, dict[str, float | None]]] = {}
         self.version = 0
+        self._fingerprint = 0
+        self._parts: dict[str, int] = {}
+        self._adj_fp: object = _NEVER
+        self._adj_view: Mapping = MappingProxyType({})
+        self._sym_fp: object = _NEVER
+        self._sym_view: Mapping = MappingProxyType({})
+
+    @property
+    def fingerprint(self) -> int:
+        """Content digest of the current connectivity graph (order- and
+        sequence-number-independent; see class docstring)."""
+        return self._fingerprint
 
     def update(self, origin: str, seq: int, neighbor_costs: dict) -> bool:
         """Apply an update; returns True if it was new (should re-flood)."""
         current = self._records.get(origin)
         if current is not None and current[0] >= seq:
             return False
-        self._records[origin] = (seq, dict(neighbor_costs))
+        costs = dict(neighbor_costs)
+        self._records[origin] = (seq, costs)
         self.version += 1
+        part = content_digest((origin, tuple(sorted(costs.items()))))
+        self._fingerprint ^= self._parts.get(origin, 0) ^ part
+        self._parts[origin] = part
         return True
 
-    def record(self, origin: str) -> dict | None:
+    def record(self, origin: str) -> Mapping | None:
+        """The origin's current ``{neighbor: cost-or-None}`` record as a
+        read-only view (the stored record is never mutated in place, so
+        the view is a stable snapshot)."""
         entry = self._records.get(origin)
-        return dict(entry[1]) if entry else None
+        return MappingProxyType(entry[1]) if entry else None
 
     def seq(self, origin: str) -> int:
         entry = self._records.get(origin)
@@ -46,33 +93,47 @@ class TopologyDatabase:
     def origins(self) -> list[str]:
         return list(self._records)
 
-    def adjacency(self) -> dict:
+    def adjacency(self) -> Mapping:
         """Directed, deterministic adjacency for routing.
 
         An edge ``u -> v`` exists iff ``u``'s record reports the link to
         ``v`` as up. Keys are sorted so every node derives the *same*
         data structure from the same records — required for consistent
         hop-by-hop multicast trees.
-        """
-        adj: dict[str, dict[str, float]] = {}
-        for origin in sorted(self._records):
-            __, nbrs = self._records[origin]
-            adj[origin] = {
-                v: nbrs[v] for v in sorted(nbrs) if nbrs[v] is not None
-            }
-        return adj
 
-    def symmetric_adjacency(self) -> dict:
+        The result is a read-only view cached per :attr:`fingerprint`:
+        repeated calls against unchanged content return the same object
+        instead of rebuilding fresh dicts, and callers must not (and
+        cannot) mutate it.
+        """
+        if self._adj_fp != self._fingerprint:
+            adj: dict[str, Mapping] = {}
+            for origin in sorted(self._records):
+                __, nbrs = self._records[origin]
+                adj[origin] = MappingProxyType({
+                    v: nbrs[v] for v in sorted(nbrs) if nbrs[v] is not None
+                })
+            self._adj_view = MappingProxyType(adj)
+            self._adj_fp = self._fingerprint
+        return self._adj_view
+
+    def symmetric_adjacency(self) -> Mapping:
         """Adjacency keeping only edges reported up *by both ends*
         (used for path computations that must be traversable both ways,
-        e.g. disjoint-path requests)."""
-        adj = self.adjacency()
-        sym: dict[str, dict[str, float]] = {u: {} for u in adj}
-        for u, nbrs in adj.items():
-            for v, w in nbrs.items():
-                if u in adj.get(v, {}):
-                    sym[u][v] = w
-        return sym
+        e.g. disjoint-path requests). Read-only, cached like
+        :meth:`adjacency`."""
+        if self._sym_fp != self._fingerprint:
+            adj = self.adjacency()
+            sym: dict[str, dict[str, float]] = {u: {} for u in adj}
+            for u, nbrs in adj.items():
+                for v, w in nbrs.items():
+                    if u in adj.get(v, {}):
+                        sym[u][v] = w
+            self._sym_view = MappingProxyType(
+                {u: MappingProxyType(nbrs) for u, nbrs in sym.items()}
+            )
+            self._sym_fp = self._fingerprint
+        return self._sym_view
 
 
 class GroupDatabase:
@@ -81,11 +142,24 @@ class GroupDatabase:
     Tracks, per overlay node, the set of groups that node has interested
     clients in. Only node-level interest is shared (the two-level
     hierarchy keeps per-client membership local to each node).
+
+    Like :class:`TopologyDatabase`, maintains a content
+    :attr:`fingerprint` over the membership records (ignoring sequence
+    numbers and arrival order) so converged replicas produce identical
+    cache keys for shared group-derived artifacts.
     """
 
     def __init__(self) -> None:
         self._records: dict[str, tuple[int, frozenset[str]]] = {}
         self.version = 0
+        self._fingerprint = 0
+        self._parts: dict[str, int] = {}
+        self._members_cache: dict[str, tuple[str, ...]] = {}
+
+    @property
+    def fingerprint(self) -> int:
+        """Content digest of the current group state."""
+        return self._fingerprint
 
     def update(self, origin: str, seq: int, groups) -> bool:
         """Apply a membership update; True if new (should re-flood)."""
@@ -95,6 +169,10 @@ class GroupDatabase:
             return False
         self._records[origin] = (seq, new)
         self.version += 1
+        part = content_digest((origin, tuple(sorted(new))))
+        self._fingerprint ^= self._parts.get(origin, 0) ^ part
+        self._parts[origin] = part
+        self._members_cache.clear()
         return True
 
     def seq(self, origin: str) -> int:
@@ -104,13 +182,23 @@ class GroupDatabase:
     def origins(self) -> list[str]:
         return list(self._records)
 
+    def members_view(self, group: str) -> tuple[str, ...]:
+        """Overlay nodes with clients in ``group`` as a sorted immutable
+        tuple, cached until the next accepted update — the hashable form
+        the route-computation engine keys shared artifacts on."""
+        cached = self._members_cache.get(group)
+        if cached is None:
+            cached = tuple(sorted(
+                origin
+                for origin, (__, groups) in self._records.items()
+                if group in groups
+            ))
+            self._members_cache[group] = cached
+        return cached
+
     def members(self, group: str) -> list[str]:
         """Overlay nodes with clients in ``group`` (sorted, deterministic)."""
-        return sorted(
-            origin
-            for origin, (__, groups) in self._records.items()
-            if group in groups
-        )
+        return list(self.members_view(group))
 
     def groups_of(self, origin: str) -> frozenset[str]:
         entry = self._records.get(origin)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Sequence
 
 from repro.core.client import OverlayClient
+from repro.core.compute import RouteComputeEngine
 from repro.core.config import OverlayConfig
 from repro.core.link import OverlayLink
 from repro.core.message import OverlayMessage
@@ -54,6 +55,17 @@ class OverlayNetwork:
         self.config = config if config is not None else OverlayConfig()
         self.trace = TraceCollector()
         self.counters = Counter()
+        #: Network-wide content-addressed route computation: every
+        #: node's RoutingService delegates here, so replicas that have
+        #: converged on the same shared state reuse one Dijkstra table /
+        #: multicast tree / dissemination edge set instead of each
+        #: recomputing it. Cache effectiveness shows up in the
+        #: ``route.compute`` / ``route.hit`` / ``route.evict`` counters.
+        self.route_engine = RouteComputeEngine(
+            counters=self.counters,
+            capacity=self.config.route_cache_size,
+            check_determinism=self.config.route_debug_check,
+        )
         #: When set (a :class:`repro.security.crypto.KeyStore`), every
         #: frame is signed by its sending node and verified on receipt:
         #: only authorized overlay nodes can speak on the overlay

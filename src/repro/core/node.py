@@ -52,7 +52,8 @@ class OverlayNode:
         self.topo_db = TopologyDatabase()
         self.group_db = GroupDatabase()
         self.routing = RoutingService(
-            node_id, self.topo_db, self.group_db, network.link_index
+            node_id, self.topo_db, self.group_db, network.link_index,
+            engine=network.route_engine,
         )
         self.session = SessionManager(self)
         self.dedup = DedupCache(self.config.dedup_cache)

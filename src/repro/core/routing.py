@@ -13,10 +13,13 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.alg.dijkstra import dijkstra, next_hops
-from repro.alg.disjoint import node_disjoint_paths
-from repro.alg.trees import multicast_tree
-from repro.core import dissemination
+from repro.core.compute import (
+    GRAPH_DESTINATION_PROBLEM,
+    GRAPH_SOURCE_PROBLEM,
+    GRAPH_SRC_DST_PROBLEM,
+    GRAPH_TWO_DISJOINT,
+    RouteComputeEngine,
+)
 from repro.core.linkstate import GroupDatabase, TopologyDatabase
 from repro.core.message import (
     ROUTING_ADAPTIVE,
@@ -84,12 +87,20 @@ class LinkIndex:
 
 
 class RoutingService:
-    """Per-node routing decisions over the shared state replicas.
+    """Per-node *view* over network-wide shared route computation.
 
-    All computed artifacts (routing tables, multicast trees, source
-    bitmasks) are cached and invalidated by the databases' version
-    counters, so reactions to topology changes are immediate once the
-    flooded update arrives.
+    Routing artifacts (next-hop tables, distance maps, multicast trees,
+    dissemination edge sets) are computed by the content-addressed
+    :class:`repro.core.compute.RouteComputeEngine`, keyed by the shared
+    databases' content fingerprints — so every replica that has
+    converged on the same state reuses one computation instead of
+    repeating it per node. What stays local is exactly the node-relative
+    part: extracting this node's next hop from a shared table, the
+    best-ever cost baselines, degraded-link assessments (which depend on
+    this node's observation history), and the final bitmask cache.
+    Reactions to topology changes remain immediate: a flooded update
+    moves the fingerprint, which invalidates every derived artifact at
+    once.
     """
 
     def __init__(
@@ -98,32 +109,31 @@ class RoutingService:
         topo_db: TopologyDatabase,
         group_db: GroupDatabase,
         link_index: LinkIndex,
+        engine: RouteComputeEngine | None = None,
     ) -> None:
         self.node_id = node_id
         self.topo = topo_db
         self.groups = group_db
         self.links = link_index
-        self._adj_version = -1
+        #: Shared engine when deployed in an OverlayNetwork; a private
+        #: one otherwise (standalone services still get memoization).
+        self.engine = engine if engine is not None else RouteComputeEngine()
+        self._fingerprint: int | None = None
         self._adj: dict = {}
         self._sym_adj: dict = {}
-        self._tables: dict[str, dict] = {}
-        self._dist: dict[str, dict] = {}
-        self._trees: dict[tuple, dict] = {}
-        self._tree_versions = (-1, -1)
         self._masks: dict[tuple, int] = {}
         self._cost_baselines: dict[tuple, float] = {}
 
     # ------------------------------------------------------- state sync
 
     def _refresh(self) -> None:
-        if self._adj_version == self.topo.version:
+        fingerprint = self.topo.fingerprint
+        if self._fingerprint == fingerprint:
             return
         self._adj = self.topo.adjacency()
         self._sym_adj = self.topo.symmetric_adjacency()
-        self._tables.clear()
-        self._dist.clear()
         self._masks.clear()
-        self._adj_version = self.topo.version
+        self._fingerprint = fingerprint
         for u, nbrs in self._adj.items():
             for v, cost in nbrs.items():
                 key = (u, v)
@@ -146,7 +156,9 @@ class RoutingService:
         return False
 
     def adjacency(self) -> dict:
-        """The current (directed) routing adjacency."""
+        """The current (directed) routing adjacency — a read-only view
+        shared with every consumer of the same replica; copy before
+        mutating."""
         self._refresh()
         return self._adj
 
@@ -155,40 +167,37 @@ class RoutingService:
     def next_hop(self, dst_node: str) -> str | None:
         """Next overlay hop from this node toward ``dst_node``."""
         self._refresh()
-        if dst_node not in self._tables:
-            self._tables[dst_node] = next_hops(self._adj, dst_node)
-        return self._tables[dst_node].get(self.node_id)
+        table = self.engine.table(self._fingerprint, self._adj, dst_node)
+        return table.get(self.node_id)
 
     def distance(self, src: str, dst: str) -> float | None:
         """Shortest-path cost between two overlay nodes, or None."""
         self._refresh()
-        if src not in self._dist:
-            self._dist[src], __ = dijkstra(self._adj, src)
-        return self._dist[src].get(dst)
+        return self.engine.distances(self._fingerprint, self._adj, src).get(dst)
 
     # --------------------------------------------------------- multicast
 
     def multicast_children(self, origin: str, group: str) -> list[str]:
         """This node's children in the deterministic multicast tree for
-        (``origin``, ``group``). Every node computes the same tree from
+        (``origin``, ``group``). Every node derives the same tree from
         the same shared state (sorted adjacency + deterministic
-        Dijkstra), so hop-by-hop forwarding composes into one tree."""
+        Dijkstra), so hop-by-hop forwarding composes into one tree —
+        converged replicas share one engine-owned artifact."""
         self._refresh()
-        versions = (self.topo.version, self.groups.version)
-        if versions != self._tree_versions:
-            self._trees.clear()
-            self._tree_versions = versions
-        key = (origin, group)
-        if key not in self._trees:
-            members = self.groups.members(group)
-            self._trees[key] = multicast_tree(self._adj, origin, members)
-        return self._trees[key].get(self.node_id, [])
+        tree = self.engine.tree(
+            self._fingerprint ^ self.groups.fingerprint,
+            self._adj,
+            origin,
+            group,
+            self.groups.members_view(group),
+        )
+        return list(tree.get(self.node_id, ()))
 
     def anycast_target(self, group: str) -> str | None:
         """The nearest overlay node with members of ``group`` (Sec II-B:
         anycast delivers to exactly one member)."""
         self._refresh()
-        members = self.groups.members(group)
+        members = self.groups.members_view(group)
         if not members:
             return None
         if self.node_id in members:
@@ -218,15 +227,14 @@ class RoutingService:
         if key in self._masks:
             return self._masks[key]
         if service.routing == ROUTING_DISJOINT:
-            paths = node_disjoint_paths(
-                self._sym_adj, self.node_id, dst_node, service.k
+            edges = self.engine.disjoint_edges(
+                self._fingerprint, self._sym_adj, self.node_id, dst_node,
+                service.k,
             )
-            edges: set = set()
-            for path in paths:
-                edges |= {tuple(sorted(e)) for e in zip(path, path[1:])}
         elif service.routing == ROUTING_GRAPH:
-            edges = dissemination.src_dst_problem_graph(
-                self._sym_adj, self.node_id, dst_node
+            edges = self.engine.graph_edges(
+                self._fingerprint, self._sym_adj, GRAPH_SRC_DST_PROBLEM,
+                self.node_id, dst_node,
             )
         elif service.routing == ROUTING_ADAPTIVE:
             edges = self._adaptive_graph(dst_node)
@@ -244,34 +252,35 @@ class RoutingService:
         self._masks[key] = mask
         return mask
 
-    def _adaptive_graph(self, dst_node: str) -> set:
+    def _adaptive_graph(self, dst_node: str) -> frozenset:
         """Targeted redundancy where the shared state shows trouble:
         two disjoint paths when the network looks clean, a source- /
         destination- / both-sides problem graph when links near those
-        endpoints are degraded ([2]'s policy, approximated)."""
+        endpoints are degraded ([2]'s policy, approximated).
+
+        The *choice* of graph depends on this node's local cost
+        baselines and stays here; the chosen graph itself is a pure
+        function of the shared adjacency, so nodes that reach the same
+        assessment share one engine computation."""
         src_problem = self._degraded_at(self.node_id)
         dst_problem = self._degraded_at(dst_node)
         if src_problem and dst_problem:
-            return dissemination.src_dst_problem_graph(
-                self._sym_adj, self.node_id, dst_node
-            )
-        if src_problem:
-            return dissemination.source_problem_graph(
-                self._sym_adj, self.node_id, dst_node
-            )
-        if dst_problem:
-            return dissemination.destination_problem_graph(
-                self._sym_adj, self.node_id, dst_node
-            )
-        return dissemination.two_disjoint_paths_graph(
-            self._sym_adj, self.node_id, dst_node
+            kind = GRAPH_SRC_DST_PROBLEM
+        elif src_problem:
+            kind = GRAPH_SOURCE_PROBLEM
+        elif dst_problem:
+            kind = GRAPH_DESTINATION_PROBLEM
+        else:
+            kind = GRAPH_TWO_DISJOINT
+        return self.engine.graph_edges(
+            self._fingerprint, self._sym_adj, kind, self.node_id, dst_node
         )
 
     def group_bitmask(self, group: str, service: ServiceSpec) -> int:
         """Source-routed dissemination to every member node of a group:
         union of the per-destination bitmasks."""
         mask = 0
-        for member in self.groups.members(group):
+        for member in self.groups.members_view(group):
             if member == self.node_id:
                 continue
             mask |= self.source_bitmask(member, service)

@@ -42,12 +42,12 @@ def test_no_third_disjoint_path_in_diamond():
 
 def test_unreachable_destination():
     adj = {"s": {"a": 1.0}, "a": {"s": 1.0}, "t": {}}
-    assert node_disjoint_paths(adj, "s", "t", 2) == []
+    assert node_disjoint_paths(adj, "s", "t", 2) == ()
 
 
 def test_k_zero_or_negative():
-    assert node_disjoint_paths(DIAMOND, "s", "t", 0) == []
-    assert node_disjoint_paths(DIAMOND, "s", "t", -1) == []
+    assert node_disjoint_paths(DIAMOND, "s", "t", 0) == ()
+    assert node_disjoint_paths(DIAMOND, "s", "t", -1) == ()
 
 
 def test_same_endpoints_rejected():

@@ -35,7 +35,7 @@ def test_tree_is_acyclic_and_rooted():
 
 def test_source_only_member_gives_trivial_tree():
     tree = multicast_tree(GRID, "a", ["a"])
-    assert tree == {"a": []}
+    assert tree == {"a": ()}
 
 
 def test_unreachable_member_is_omitted():
