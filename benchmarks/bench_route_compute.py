@@ -57,7 +57,7 @@ def _mesh_internet(sim, rngs):
     return inet
 
 
-def _run_once(shared: bool) -> dict:
+def _run_once(shared: bool, run_time: float = RUN_TIME) -> dict:
     sim = Simulator()
     rngs = RngRegistry(SEED)
     internet = _mesh_internet(sim, rngs)
@@ -115,7 +115,7 @@ def _run_once(shared: bool) -> dict:
     sim.schedule(1.0, churn)
 
     started = time.perf_counter()
-    sim.run(until=sim.now + RUN_TIME)
+    sim.run(until=sim.now + run_time)
     wall = time.perf_counter() - started
 
     counters = overlay.counters.as_dict()
@@ -131,9 +131,9 @@ def _run_once(shared: bool) -> dict:
     }
 
 
-def run_route_compute() -> dict:
-    per_node = _run_once(shared=False)
-    shared = _run_once(shared=True)
+def run_route_compute(run_time: float = RUN_TIME) -> dict:
+    per_node = _run_once(shared=False, run_time=run_time)
+    shared = _run_once(shared=True, run_time=run_time)
     assert shared["deliveries"] == per_node["deliveries"], (
         "sharing changed routing behaviour — traces must be identical"
     )
@@ -166,3 +166,18 @@ def bench_route_compute_sharing(benchmark):
     # Dijkstra/tree/disjoint work, with bit-identical routing decisions.
     assert result["compute_reduction"] >= 3.0
     assert result["shared_hit_rate"] > result["per_node_hit_rate"]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short run (CI smoke mode)")
+    args = parser.parse_args()
+    result = run_route_compute(run_time=8.0 if args.quick else RUN_TIME)
+    for key, value in result.items():
+        print(f"{key}: {value:.3f}" if isinstance(value, float) else f"{key}: {value}")
+    assert result["compute_reduction"] >= 3.0, result
+    assert result["shared_hit_rate"] > result["per_node_hit_rate"], result
+    print("ok")

@@ -47,6 +47,14 @@ class OverlayConfig:
             routing artifact twice and asserts the results are equal,
             guarding the determinism that route sharing (and hop-by-hop
             multicast) requires.
+        forwarding_cache: Enable the per-node data-plane
+            :class:`repro.core.pipeline.ForwardingCache` — memoized
+            decide-stage results invalidated wholesale when the shared
+            databases' content fingerprints move. Disabling recomputes
+            every forwarding decision (used by equivalence tests and the
+            ``bench_forwarding_cache`` baseline).
+        forwarding_cache_size: Bound on cached forwarding decisions per
+            node; the table is cleared when exceeded.
     """
 
     hello_interval: float = 0.1
@@ -65,5 +73,7 @@ class OverlayConfig:
     crypto_verify_delay: float = 0.0
     route_cache_size: int = 128
     route_debug_check: bool = False
+    forwarding_cache: bool = True
+    forwarding_cache_size: int = 65_536
     #: Extra per-protocol defaults, e.g. {"nm-strikes": {"n": 3, "m": 2}}.
     protocol_defaults: dict = field(default_factory=dict)

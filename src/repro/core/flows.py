@@ -8,10 +8,13 @@ select, with state maintenance and processing performed on the
 aggregate flows."
 
 Every overlay node keeps a :class:`FlowTable`: one entry per flow it
-has introduced, forwarded, or delivered, with live counters. The
-aggregation views group entries the two ways the paper names —
-by (source node, destination node) pair and by selected services —
-and are what an operator (or the fairness schedulers' audits) see.
+has introduced, forwarded, or delivered, with live counters. It is fed
+exclusively by the *classify* stage of the node's data-plane pipeline
+(:meth:`repro.core.pipeline.DataPlane.classify`) — the single place
+per-flow accounting happens. The aggregation views group entries the
+two ways the paper names — by (source node, destination node) pair and
+by selected services — and are what an operator (or the fairness
+schedulers' audits) see.
 """
 
 from __future__ import annotations
@@ -52,7 +55,9 @@ class FlowTable:
         self.capacity = capacity
         self._entries: dict[str, FlowEntry] = {}
 
-    def observe(self, msg: OverlayMessage, now: float, role: str) -> None:
+    def observe(self, msg: OverlayMessage, now: float, role: str) -> FlowEntry:
+        """Classify ``msg`` into its flow entry (created on first sight)
+        and fold in the per-flow counters; returns the entry."""
         entry = self._entries.get(msg.flow)
         if entry is None:
             entry = FlowEntry(
@@ -67,6 +72,7 @@ class FlowTable:
             if len(self._entries) > self.capacity:
                 self.expire(now)
         entry.touch(msg, now, role)
+        return entry
 
     # ------------------------------------------------------------ views
 

@@ -10,7 +10,11 @@ datagram-socket surface (``bind`` / ``sendto`` / a receive callback in
 place of ``recvfrom``), addressed by plain ``(host, port)`` tuples. The
 application never sees the overlay; the *interception layer* — not the
 app — decides which overlay services each destination's traffic gets,
-via the ``service_map``.
+via the ``service_map``. That per-destination service choice is what
+the data-plane pipeline's *classify* stage later groups flows by:
+intercepted traffic enters the overlay through the node's
+:class:`~repro.core.pipeline.DataPlane` like any API client's, and its
+forwarding decisions share the same fingerprint-keyed cache.
 """
 
 from __future__ import annotations

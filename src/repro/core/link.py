@@ -120,6 +120,11 @@ class OverlayLink:
         self.switch_count = 0
         self.bytes_sent = 0
         self.frames_sent = 0
+        #: Data-plane share of the totals above (frames carrying an
+        #: overlay message — what the pipeline's dispatch stage emits;
+        #: the rest is control: hellos, LSU/GSU floods, acks).
+        self.data_bytes_sent = 0
+        self.data_frames_sent = 0
 
         self._hello_seq = {name: 0 for name in self.carriers}
         self._rx = {name: _CarrierMonitor() for name in self.carriers}
@@ -156,6 +161,9 @@ class OverlayLink:
             self.sign_frame(frame)
         self.bytes_sent += frame.wire_size
         self.frames_sent += 1
+        if frame.msg is not None:
+            self.data_bytes_sent += frame.wire_size
+            self.data_frames_sent += 1
         deliver = self.deliver_to_peer
         self.internet.send(
             self.node_host,

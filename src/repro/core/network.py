@@ -189,8 +189,10 @@ class OverlayNetwork:
 
     def status(self) -> dict:
         """Operational snapshot of the whole overlay: per-node link
-        states (carrier, cost, estimates), active-flow aggregates, and
-        the global counters — what a deployment's status page shows."""
+        states (carrier, cost, estimates), active-flow aggregates, the
+        size of each node's forwarding-decision cache, and the global
+        counters (including the data plane's ``fwd.hit`` / ``fwd.miss``
+        / ``fwd.invalidate``) — what a deployment's status page shows."""
         nodes = {}
         for node_id, node in self.nodes.items():
             links = {}
@@ -204,6 +206,7 @@ class OverlayNetwork:
                     "loss": round(link.loss_est, 4),
                     "cost": link.cost(),
                     "switches": link.switch_count,
+                    "data_bytes": link.data_bytes_sent,
                 }
             nodes[node_id] = {
                 "crashed": node.crashed,
@@ -212,6 +215,7 @@ class OverlayNetwork:
                 "groups": sorted(node.session.local_groups()),
                 "active_flows": len(node.flows.active(self.sim.now)),
                 "flows_by_service": node.flows.by_service(self.sim.now),
+                "fwd_decisions": len(node.pipeline.cache),
             }
         return {
             "time": self.sim.now,

@@ -4,12 +4,15 @@ An :class:`OverlayNode` is both a server (it accepts client connections
 through its session interface) and a router (it forwards packets for
 other overlay nodes). Incoming link-level frames are dispatched to the
 control handler (hellos, link-state and group-state updates) or to the
-per-(neighbor, protocol) link-protocol instance; data messages climb to
-the routing level, which forwards them per their flow's selected
-routing service, and to the session interface at destination nodes.
+per-(neighbor, protocol) link-protocol instance; data messages climb
+the node's :class:`~repro.core.pipeline.DataPlane` — the explicit
+classify -> decide -> dispatch / deliver stack of Sec II-C/II-D, which
+owns per-flow accounting, the fingerprint-invalidated forwarding cache,
+per-node processing delay, and adversary interception.
 
-Per-node processing adds ``config.proc_delay`` (< 1 ms, Sec II-D) to
-every forwarded message.
+This module keeps the *control plane*: hello-driven link state, LSU/GSU
+origination and flooding, database sync on adjacency bring-up, crash /
+recovery, and the (neighbor, protocol) instance registry.
 """
 
 from __future__ import annotations
@@ -19,13 +22,8 @@ from typing import TYPE_CHECKING, Callable
 from repro.core.link import OverlayLink
 from repro.core.flows import FlowTable
 from repro.core.linkstate import DedupCache, GroupDatabase, TopologyDatabase
-from repro.core.message import (
-    Frame,
-    LINK_IT_PRIORITY,
-    LINK_IT_RELIABLE,
-    OverlayMessage,
-    SOURCE_BASED,
-)
+from repro.core.message import Frame, OverlayMessage
+from repro.core.pipeline import DataPlane
 from repro.core.routing import RoutingService
 from repro.core.session import SessionManager
 
@@ -63,8 +61,11 @@ class OverlayNode:
         self.links: dict[str, OverlayLink] = {}
         self.protocols: dict[tuple[str, str], object] = {}
         #: Adversary hook (see :mod:`repro.security.adversary`); ``None``
-        #: for correct nodes.
+        #: for correct nodes. Interception attaches inside the pipeline.
         self.behavior = None
+        #: The data-plane stack (classify/decide/dispatch/deliver) with
+        #: its fingerprint-invalidated forwarding cache.
+        self.pipeline = DataPlane(self)
 
         self._lsu_seq = 0
         self._gsu_seq = 0
@@ -196,10 +197,8 @@ class OverlayNode:
         if not self._authenticate(frame):
             self.counters.add("auth-rejected")
             return
-        if self.behavior is not None:
-            if not self.behavior.on_receive_frame(self, frame):
-                self.counters.add("adversary-swallowed")
-                return
+        if not self.pipeline.intercept_frame(frame):
+            return
         if frame.proto == "control":
             self._handle_control(frame)
             return
@@ -253,205 +252,16 @@ class OverlayNode:
             self.protocols[key] = create_protocol(proto_name, self, link)
         return self.protocols[key]
 
+    # -------------------------------------------------------- data plane
+
     def deliver_up(self, from_nbr: str, msg: OverlayMessage,
                    done: DoneFn | None = None) -> None:
         """Called by link protocols when a data message is ready for the
-        routing level; applies the per-node processing delay."""
-        arrival_bit = None
-        link = self.links.get(from_nbr)
-        if link is not None:
-            arrival_bit = link.bit
-        self.sim.schedule(
-            self.config.proc_delay, self._route, msg, from_nbr, arrival_bit, done
-        )
-
-    # ---------------------------------------------------- session entry
+        routing level — enters the pipeline (which pays the per-node
+        processing delay)."""
+        self.pipeline.receive(from_nbr, msg, done)
 
     def ingress(self, msg: OverlayMessage, done: DoneFn | None = None) -> bool:
         """A local client introduces ``msg`` into the overlay. Returns
         False if the message was rejected immediately (backpressure)."""
-        msg.origin = self.id
-        msg.sent_at = self.sim.now
-        if msg.service.routing in SOURCE_BASED:
-            msg.bitmask = self._origin_bitmask(msg)
-            if msg.bitmask == 0 and not msg.dst.is_group and msg.dst.node != self.id:
-                self.counters.add("no-overlay-route")
-                return False
-        if msg.dst.is_anycast:
-            msg.target = self.routing.anycast_target(msg.dst.group)
-            if msg.target is None:
-                self.counters.add("anycast-no-member")
-                return False
-        self.flows.observe(msg, self.sim.now, "origin")
-        sign_delay = self._sign_delay(msg)
-        if sign_delay > 0:
-            self.sim.schedule(sign_delay, self._route, msg, None, None, done)
-            return True
-        return self._route(msg, None, None, done)
-
-    def _sign_delay(self, msg: OverlayMessage) -> float:
-        if msg.service.link in (LINK_IT_PRIORITY, LINK_IT_RELIABLE):
-            return self.config.crypto_sign_delay
-        return 0.0
-
-    def _origin_bitmask(self, msg: OverlayMessage) -> int:
-        if msg.dst.is_group:
-            return self.routing.group_bitmask(msg.dst.group, msg.service)
-        return self.routing.source_bitmask(msg.dst.node, msg.service)
-
-    # ----------------------------------------------------- routing level
-
-    def _route(
-        self,
-        msg: OverlayMessage,
-        from_nbr: str | None,
-        arrival_bit: int | None,
-        done: DoneFn | None = None,
-    ) -> bool:
-        """Forward and/or locally deliver ``msg``. Returns False only for
-        an immediate origin-side rejection."""
-        if from_nbr is not None:
-            msg.ttl -= 1
-            if msg.ttl <= 0:
-                self.counters.add("overlay-ttl-exceeded")
-                return True
-            self.counters.add("forwarded")
-            self.flows.observe(msg, self.sim.now, "forwarded")
-        if msg.service.routing in SOURCE_BASED:
-            self._route_source_based(msg, arrival_bit, done)
-            return True
-        return self._route_link_state(msg, from_nbr, done)
-
-    def _route_source_based(
-        self, msg: OverlayMessage, arrival_bit: int | None, done: DoneFn | None
-    ) -> None:
-        key = msg.key
-        if self._is_local_destination(msg):
-            self._deliver_once(msg)
-        if arrival_bit is not None:
-            self.dedup.mark_sent(key, 1 << arrival_bit)
-        sent_mask = self.dedup.links_sent(key)
-        targets = [
-            (nbr, bit)
-            for nbr, bit in self.routing.bitmask_neighbors(msg.bitmask, arrival_bit)
-            if not sent_mask >> bit & 1
-        ]
-        if not targets:
-            done and done()
-            return
-        tracker = _AcceptTracker(len(targets), done)
-        for nbr, bit in targets:
-            self.dedup.mark_sent(key, 1 << bit)
-            self._send_on_link(nbr, msg, tracker.accept_one)
-
-    def _is_local_destination(self, msg: OverlayMessage) -> bool:
-        if msg.dst.is_multicast:
-            return self.session.has_members(msg.dst.group)
-        if msg.dst.is_anycast:
-            return msg.target == self.id
-        return msg.dst.node == self.id
-
-    def _route_link_state(
-        self, msg: OverlayMessage, from_nbr: str | None, done: DoneFn | None
-    ) -> bool:
-        if msg.dst.is_multicast:
-            self._route_multicast(msg, from_nbr, done)
-            return True
-        if msg.dst.is_anycast:
-            return self._route_anycast(msg, done)
-        if msg.dst.node == self.id:
-            self._deliver_once(msg)
-            done and done()
-            return True
-        nxt = self.routing.next_hop(msg.dst.node)
-        if nxt is None:
-            self.counters.add("no-overlay-route")
-            done and done()
-            return False
-        return self._send_on_link(nxt, msg, done)
-
-    def _deliver_once(self, msg: OverlayMessage) -> None:
-        """Local delivery with network-wide de-duplication: redundantly
-        transmitted or adversarially duplicated copies reach the client
-        exactly once (flow-based processing, Sec I/II-C)."""
-        if self.dedup.already_delivered(msg.key):
-            self.counters.add("duplicate-suppressed")
-            return
-        self.flows.observe(msg, self.sim.now, "delivered")
-        self.session.deliver_local(msg)
-
-    def _route_multicast(
-        self, msg: OverlayMessage, from_nbr: str | None, done: DoneFn | None
-    ) -> None:
-        group = msg.dst.group
-        if self.session.has_members(group):
-            self._deliver_once(msg)
-        children = [
-            c for c in self.routing.multicast_children(msg.origin, group)
-            if c != from_nbr
-        ]
-        if not children:
-            done and done()
-            return
-        tracker = _AcceptTracker(len(children), done)
-        for child in children:
-            self._send_on_link(child, msg, tracker.accept_one)
-
-    def _route_anycast(self, msg: OverlayMessage, done: DoneFn | None) -> bool:
-        if msg.target == self.id:
-            self._deliver_once(msg)
-            done and done()
-            return True
-        if msg.target is None or self.routing.distance(self.id, msg.target) is None:
-            msg.target = self.routing.anycast_target(msg.dst.group)
-            if msg.target is None:
-                self.counters.add("anycast-no-member")
-                done and done()
-                return False
-            if msg.target == self.id:
-                self._deliver_once(msg)
-                done and done()
-                return True
-        nxt = self.routing.next_hop(msg.target)
-        if nxt is None:
-            self.counters.add("no-overlay-route")
-            done and done()
-            return False
-        return self._send_on_link(nxt, msg, done)
-
-    # -------------------------------------------------------- send path
-
-    def _send_on_link(
-        self, nbr: str, msg: OverlayMessage, accepted: DoneFn | None = None
-    ) -> bool:
-        if self.behavior is not None:
-            if not self.behavior.on_forward(self, msg, nbr):
-                self.counters.add("adversary-dropped")
-                # Report acceptance so upstream state is released; the
-                # adversary is *lying*, which is exactly the threat the
-                # redundant dissemination schemes are built for.
-                accepted and accepted()
-                return True
-        protocol = self.protocol_for(nbr, msg.service.link)
-        ok = protocol.send(msg)
-        if ok:
-            accepted and accepted()
-            return True
-        if accepted is not None and getattr(protocol, "supports_backpressure", False):
-            protocol.when_space(lambda: self._send_on_link(nbr, msg, accepted))
-            return True
-        self.counters.add("send-rejected")
-        return False
-
-
-class _AcceptTracker:
-    """Invokes ``done`` once all of N downstream accepts have happened."""
-
-    def __init__(self, n: int, done: DoneFn | None) -> None:
-        self.remaining = n
-        self.done = done
-
-    def accept_one(self) -> None:
-        self.remaining -= 1
-        if self.remaining == 0 and self.done is not None:
-            self.done()
+        return self.pipeline.ingress(msg, done)

@@ -146,6 +146,10 @@ class SessionManager:
     # --------------------------------------------------------- delivery
 
     def deliver_local(self, msg: OverlayMessage) -> None:
+        """Egress fan-out to local clients — the back half of the
+        pipeline's *deliver* stage (de-duplication and per-flow
+        accounting already happened in
+        :meth:`repro.core.pipeline.DataPlane.deliver`)."""
         targets = self._local_targets(msg)
         if not targets:
             self.node.counters.add("no-local-client")

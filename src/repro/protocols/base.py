@@ -120,14 +120,18 @@ class LinkProtocol:
         self.link.transmit(frame)
 
     def deliver_up(self, msg: OverlayMessage, done: DoneFn | None = None) -> None:
-        """Hand a message to the routing level, paying the per-message
-        authentication cost first when one is configured."""
+        """Hand a message to the data-plane pipeline (which applies the
+        per-node processing delay and climbs classify -> decide), paying
+        the per-message authentication cost first when one is
+        configured. The protocol passes its own link object so the
+        pipeline learns the arrival bit without a neighbor lookup."""
+        pipeline = self.node.pipeline
         if self.verify_delay > 0:
             self.sim.schedule(
-                self.verify_delay, self.node.deliver_up, self.nbr, msg, done
+                self.verify_delay, pipeline.receive_from_link, self.link, msg, done
             )
         else:
-            self.node.deliver_up(self.nbr, msg, done)
+            pipeline.receive_from_link(self.link, msg, done)
 
 
 class PacedSender:

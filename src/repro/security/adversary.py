@@ -3,13 +3,18 @@
 A compromised overlay node holds valid credentials: it participates in
 hellos and routing (so it looks alive) but may drop, delay, or
 duplicate the data it should forward, or flood to consume resources.
-Behaviours hook into two points of :class:`~repro.core.node.OverlayNode`:
+Behaviours hook into the node's data-plane pipeline
+(:class:`~repro.core.pipeline.DataPlane`) at exactly two points:
 
-* ``on_receive_frame(node, frame) -> bool`` — return False to swallow
-  an incoming frame before any processing;
-* ``on_forward(node, msg, nbr) -> bool`` — return False to drop a data
-  message the routing level decided to send to ``nbr`` (the node *lies*
-  upstream that it accepted the message).
+* ``on_receive_frame(node, frame) -> bool`` — the receive-side
+  intercept (:meth:`~repro.core.pipeline.DataPlane.intercept_frame`);
+  return False to swallow an incoming frame before any processing;
+* ``on_forward(node, msg, nbr) -> bool`` — the *dispatch*-stage
+  intercept; return False to drop a data message the decide stage
+  chose to send to ``nbr`` (the node *lies* upstream that it accepted
+  the message). Behaviours that re-inject messages they intercepted
+  (delayed or duplicated copies) dispatch with ``intercept=False`` so
+  they are not re-intercepted.
 
 The redundant dissemination schemes (k disjoint paths, constrained
 flooding, dissemination graphs) are measured against these behaviours
@@ -95,8 +100,7 @@ class DelayInjector(NodeBehavior):
         return False  # we swallow it now and replay it late
 
     def _forward_late(self, node, msg: OverlayMessage, nbr: str) -> None:
-        protocol = node.protocol_for(nbr, msg.service.link)
-        protocol.send(msg)
+        node.pipeline.dispatch(nbr, msg, intercept=False)
 
 
 class Duplicator(NodeBehavior):
@@ -110,7 +114,6 @@ class Duplicator(NodeBehavior):
         self.copies = copies
 
     def on_forward(self, node, msg: OverlayMessage, nbr: str) -> bool:
-        protocol = node.protocol_for(nbr, msg.service.link)
         for __ in range(self.copies - 1):
-            protocol.send(msg)
+            node.pipeline.dispatch(nbr, msg, intercept=False)
         return True

@@ -8,13 +8,22 @@ this makes every run fully deterministic given the same inputs.
 Events are cancellable: protocol code keeps the :class:`Event` handle
 returned by :meth:`Simulator.schedule` and calls :meth:`Event.cancel`
 (e.g. NM-Strikes cancels pending retransmission requests when the
-missing packet arrives).
+missing packet arrives). Cancelled events stay in the heap until their
+time comes — *lazy deletion* — but the simulator keeps a live count
+(so :attr:`Simulator.pending_events` is O(1), not a queue scan) and
+compacts the heap in one pass whenever cancelled entries outnumber
+live ones, so retransmission-heavy scenarios cannot bloat the queue
+with dead weight.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable
+
+#: Queues smaller than this are never compacted — a rebuild would cost
+#: more than the dead entries do.
+COMPACT_MIN_QUEUE = 64
 
 
 class SimulationError(RuntimeError):
@@ -30,18 +39,26 @@ class Event:
         args: Positional arguments passed to the callback.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "_cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "_cancelled", "_queued", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+                 sim: "Simulator | None" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self._cancelled = False
+        self._queued = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Safe to call more than once."""
+        """Prevent the event from firing. Safe to call more than once
+        (and after the event has already fired — a no-op then)."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._queued and self._sim is not None:
+            self._sim._on_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -72,6 +89,8 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._processed = 0
+        self._live = 0  # queued events that are not cancelled
+        self._dead = 0  # queued events that are cancelled (lazy deletes)
 
     @property
     def now(self) -> float:
@@ -85,8 +104,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued — O(1)."""
+        return self._live
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -100,10 +119,47 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        event = Event(time, self._seq, fn, args)
+        event = Event(time, self._seq, fn, args, sim=self)
+        event._queued = True
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
+
+    # ----------------------------------------------------- queue hygiene
+
+    def _on_cancel(self) -> None:
+        """A queued event was cancelled: adjust the live/dead counts and
+        compact the heap once dead entries dominate."""
+        self._live -= 1
+        self._dead += 1
+        if (
+            self._dead * 2 > len(self._queue)
+            and len(self._queue) >= COMPACT_MIN_QUEUE
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events. ``heapify`` keeps
+        pop order deterministic because (time, seq) is a total order."""
+        for event in self._queue:
+            if event._cancelled:
+                event._queued = False
+        self._queue = [e for e in self._queue if not e._cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
+
+    def _pop(self) -> Event:
+        """Pop the heap top, maintaining the live/dead accounting."""
+        event = heapq.heappop(self._queue)
+        event._queued = False
+        if event._cancelled:
+            self._dead -= 1
+        else:
+            self._live -= 1
+        return event
+
+    # ------------------------------------------------------------ running
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Run events until the queue empties, ``until`` passes, or
@@ -120,7 +176,7 @@ class Simulator:
                 event = self._queue[0]
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._queue)
+                self._pop()
                 if event.cancelled:
                     continue
                 self._now = event.time
@@ -138,7 +194,7 @@ class Simulator:
     def step(self) -> bool:
         """Run a single (non-cancelled) event. Returns False if none left."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = self._pop()
             if event.cancelled:
                 continue
             self._now = event.time
@@ -149,4 +205,8 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left as-is)."""
+        for event in self._queue:
+            event._queued = False
         self._queue.clear()
+        self._live = 0
+        self._dead = 0

@@ -81,11 +81,25 @@ class SendRecord:
 
 @dataclass
 class TraceCollector:
-    """Collects send/delivery records and counters for one run."""
+    """Collects send/delivery records and counters for one run.
+
+    The ``sends`` / ``records`` lists remain the public API (analysis
+    code iterates and even appends to them directly), but the per-key
+    accessors (:meth:`for_flow`, :meth:`sends_for_flow`,
+    :meth:`for_destination`) are served from lazily maintained indexes
+    instead of scanning the lists — long experiments query traces per
+    flow thousands of times. The indexes fold in whatever was appended
+    since the last query, so direct list appends stay supported.
+    """
 
     sends: list[SendRecord] = field(default_factory=list)
     records: list[DeliveryRecord] = field(default_factory=list)
     counters: Counter = field(default_factory=Counter)
+    _sends_by_flow: dict = field(default_factory=dict, init=False, repr=False)
+    _sends_seen: int = field(default=0, init=False, repr=False)
+    _by_flow: dict = field(default_factory=dict, init=False, repr=False)
+    _by_destination: dict = field(default_factory=dict, init=False, repr=False)
+    _records_seen: int = field(default=0, init=False, repr=False)
 
     def record_send(
         self, flow: str, seq: int, sent_at: float, size: int, dst: str
@@ -93,7 +107,8 @@ class TraceCollector:
         self.sends.append(SendRecord(flow, seq, sent_at, size, dst))
 
     def sends_for_flow(self, flow: str) -> list[SendRecord]:
-        return [s for s in self.sends if s.flow == flow]
+        self._sync_sends()
+        return list(self._sends_by_flow.get(flow, ()))
 
     def record_delivery(
         self,
@@ -109,7 +124,28 @@ class TraceCollector:
         )
 
     def for_flow(self, flow: str) -> list[DeliveryRecord]:
-        return [r for r in self.records if r.flow == flow]
+        self._sync_records()
+        return list(self._by_flow.get(flow, ()))
 
     def for_destination(self, destination: str) -> list[DeliveryRecord]:
-        return [r for r in self.records if r.destination == destination]
+        self._sync_records()
+        return list(self._by_destination.get(destination, ()))
+
+    # ---------------------------------------------------------- indexing
+
+    def _sync_sends(self) -> None:
+        """Index sends appended (by any path) since the last query."""
+        sends = self.sends
+        while self._sends_seen < len(sends):
+            record = sends[self._sends_seen]
+            self._sends_by_flow.setdefault(record.flow, []).append(record)
+            self._sends_seen += 1
+
+    def _sync_records(self) -> None:
+        """Index deliveries appended (by any path) since the last query."""
+        records = self.records
+        while self._records_seen < len(records):
+            record = records[self._records_seen]
+            self._by_flow.setdefault(record.flow, []).append(record)
+            self._by_destination.setdefault(record.destination, []).append(record)
+            self._records_seen += 1
