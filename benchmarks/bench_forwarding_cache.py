@@ -30,7 +30,7 @@ from repro.net.internet import Internet
 from repro.sim.events import Simulator
 from repro.sim.rng import RngRegistry
 
-from bench_util import print_table, run_experiment
+from bench_util import add_profile_arg, maybe_profile, print_table, run_experiment
 
 N_NODES = 20
 ISP = "mesh"
@@ -220,11 +220,13 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="short segments (CI smoke mode)")
+    add_profile_arg(parser)
     args = parser.parse_args()
     if args.quick:
-        result = run_forwarding_cache(steady_time=4.0, churn_time=4.5)
+        result = maybe_profile(args.profile, run_forwarding_cache,
+                               steady_time=4.0, churn_time=4.5)
     else:
-        result = run_forwarding_cache()
+        result = maybe_profile(args.profile, run_forwarding_cache)
     for key, value in result.items():
         print(f"{key}: {value:.3f}" if isinstance(value, float) else f"{key}: {value}")
     _check_shape(result)

@@ -27,7 +27,7 @@ from repro.net.internet import Internet
 from repro.sim.events import Simulator
 from repro.sim.rng import RngRegistry
 
-from bench_util import print_table, run_experiment
+from bench_util import add_profile_arg, maybe_profile, print_table, run_experiment
 
 N_NODES = 20
 ISP = "mesh"
@@ -174,8 +174,10 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="short run (CI smoke mode)")
+    add_profile_arg(parser)
     args = parser.parse_args()
-    result = run_route_compute(run_time=8.0 if args.quick else RUN_TIME)
+    result = maybe_profile(args.profile, run_route_compute,
+                           run_time=8.0 if args.quick else RUN_TIME)
     for key, value in result.items():
         print(f"{key}: {value:.3f}" if isinstance(value, float) else f"{key}: {value}")
     assert result["compute_reduction"] >= 3.0, result

@@ -54,3 +54,31 @@ def ms(seconds: float | None) -> float:
     if seconds is None:
         return float("nan")
     return seconds * 1000.0
+
+
+def add_profile_arg(parser) -> None:
+    """Install the shared ``--profile PATH`` option on a bench's
+    argument parser (pair with :func:`maybe_profile`)."""
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="run under cProfile and dump the stats to PATH "
+        "(inspect with `python -m pstats PATH`)",
+    )
+
+
+def maybe_profile(path: str | None, fn: Callable[..., Any], *args, **kwargs):
+    """Call ``fn(*args, **kwargs)``, under cProfile when ``path`` is
+    given (the stats are dumped to ``path``). Returns ``fn``'s result
+    either way — profiled timings are for hotspot hunting, not for the
+    numbers a bench reports."""
+    if path is None:
+        return fn(*args, **kwargs)
+    import cProfile
+
+    profile = cProfile.Profile()
+    result = profile.runcall(fn, *args, **kwargs)
+    profile.dump_stats(path)
+    print(f"profile written to {path}")
+    return result

@@ -43,20 +43,27 @@ class CbrSource:
         self.rejected = 0
         self._stop_at: float | None = None
         self._stopped = False
+        self._timer = None
 
     def start(self, delay: float = 0.0) -> "CbrSource":
         if self.duration is not None:
             self._stop_at = self.sim.now + delay + self.duration
-        self.sim.schedule(delay, self._tick)
+        self._timer = self.sim.schedule_periodic(
+            self.interval, self._tick, first=delay
+        )
         return self
 
     def stop(self) -> None:
         self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
 
     def _tick(self) -> None:
-        if self._stopped:
-            return
-        if self._stop_at is not None and self.sim.now >= self._stop_at:
+        if self._stopped or (
+            self._stop_at is not None and self.sim.now >= self._stop_at
+        ):
+            if self._timer is not None:
+                self._timer.cancel()
             return
         payload = self.payload_fn(self.sent) if self.payload_fn else None
         accepted = self.client.send(
@@ -66,7 +73,6 @@ class CbrSource:
             self.sent += 1
         else:
             self.rejected += 1
-        self.sim.schedule(self.interval, self._tick)
 
     @property
     def flow(self) -> str:
@@ -103,15 +109,19 @@ class PoissonSource:
         self.rejected = 0
         self._stop_at: float | None = None
         self._stopped = False
+        #: Recycled manual timer — exponential gaps need a fresh delay
+        #: per arm, so the auto-re-arm flavor does not fit.
+        self._timer = self.sim.timer(self._tick)
 
     def start(self, delay: float = 0.0) -> "PoissonSource":
         if self.duration is not None:
             self._stop_at = self.sim.now + delay + self.duration
-        self.sim.schedule(delay + self.rng.expovariate(self.rate), self._tick)
+        self._timer.reschedule(delay + self.rng.expovariate(self.rate))
         return self
 
     def stop(self) -> None:
         self._stopped = True
+        self._timer.cancel()
 
     def _tick(self) -> None:
         if self._stopped:
@@ -122,7 +132,7 @@ class PoissonSource:
             self.sent += 1
         else:
             self.rejected += 1
-        self.sim.schedule(self.rng.expovariate(self.rate), self._tick)
+        self._timer.reschedule(self.rng.expovariate(self.rate))
 
     @property
     def flow(self) -> str:

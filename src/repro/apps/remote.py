@@ -75,6 +75,7 @@ class RemoteManipulationSession:
         self.round_trip_latencies: list[float] = []
         self._issue_times: dict[int, float] = {}
         self._stopped = False
+        self._timer = None
         self.operator = overlay.client(
             operator_site, port_base, on_message=self._on_feedback
         )
@@ -86,16 +87,22 @@ class RemoteManipulationSession:
 
     def start(self, duration: float | None = None, delay: float = 0.0) -> "RemoteManipulationSession":
         self._stop_at = None if duration is None else self.sim.now + delay + duration
-        self.sim.schedule(delay, self._tick)
+        self._timer = self.sim.schedule_periodic(
+            1.0 / self.rate_pps, self._tick, first=delay
+        )
         return self
 
     def stop(self) -> None:
         self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
 
     def _tick(self) -> None:
-        if self._stopped:
-            return
-        if self._stop_at is not None and self.sim.now >= self._stop_at:
+        if self._stopped or (
+            self._stop_at is not None and self.sim.now >= self._stop_at
+        ):
+            if self._timer is not None:
+                self._timer.cancel()
             return
         cmd_id = self.commands_sent
         self._issue_times[cmd_id] = self.sim.now
@@ -106,7 +113,6 @@ class RemoteManipulationSession:
             service=self.service,
         )
         self.commands_sent += 1
-        self.sim.schedule(1.0 / self.rate_pps, self._tick)
 
     def _on_command(self, msg: OverlayMessage) -> None:
         # Visual + haptic feedback goes straight back on the same service.

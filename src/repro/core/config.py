@@ -55,6 +55,15 @@ class OverlayConfig:
             ``bench_forwarding_cache`` baseline).
         forwarding_cache_size: Bound on cached forwarding decisions per
             node; the table is cleared when exceeded.
+        control_fastpath: Enable the zero-allocation control-plane fast
+            path on overlay links: one pre-bound delivery callback per
+            link endpoint (instead of a fresh closure per frame),
+            pre-resolved underlay :class:`repro.net.internet.Channel`
+            objects per (link, carrier), and a version-stamped hello
+            ``feedback`` snapshot that is only rebuilt when a carrier's
+            loss estimate actually moved. Behaviour-neutral — disabling
+            it restores the allocate-per-frame path (the
+            ``bench_simcore`` baseline) with byte-identical traces.
     """
 
     hello_interval: float = 0.1
@@ -75,5 +84,6 @@ class OverlayConfig:
     route_debug_check: bool = False
     forwarding_cache: bool = True
     forwarding_cache_size: int = 65_536
+    control_fastpath: bool = True
     #: Extra per-protocol defaults, e.g. {"nm-strikes": {"n": 3, "m": 2}}.
     protocol_defaults: dict = field(default_factory=dict)

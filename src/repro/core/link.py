@@ -40,13 +40,19 @@ SWITCH_HYSTERESIS = 0.1
 class _CarrierMonitor:
     """Receiver-side estimates for one incoming carrier."""
 
-    __slots__ = ("last_seq", "last_rx_time", "loss_est", "latency_est")
+    __slots__ = ("last_seq", "last_rx_time", "loss_est", "latency_est",
+                 "version")
 
     def __init__(self) -> None:
         self.last_seq = -1
         self.last_rx_time = -1.0
         self.loss_est = 0.0
         self.latency_est: float | None = None
+        #: Bumped whenever ``loss_est`` actually moves — the hello
+        #: feedback snapshot is version-stamped against the sum of these
+        #: (monotonic), so a tick with unchanged estimates reuses the
+        #: previous dict instead of rebuilding it.
+        self.version = 0
 
     def observe(self, seq: int, latency: float, now: float,
                 loss_alpha: float, latency_alpha: float) -> bool:
@@ -56,9 +62,12 @@ class _CarrierMonitor:
         gap = seq - self.last_seq - 1 if self.last_seq >= 0 else 0
         self.last_seq = seq
         self.last_rx_time = now
+        old_loss = self.loss_est
         for __ in range(min(gap, 50)):
             self.loss_est = self.loss_est * (1 - loss_alpha) + loss_alpha
         self.loss_est *= 1 - loss_alpha
+        if self.loss_est != old_loss:
+            self.version += 1
         if self.latency_est is None:
             self.latency_est = latency
         else:
@@ -108,7 +117,11 @@ class OverlayLink:
         self.bit = bit
         self.config = config
         self.on_state_change = on_state_change
-        self.deliver_to_peer: Callable[[Frame], None] | None = None
+        self._deliver_to_peer: Callable[[Frame], None] | None = None
+        #: Pre-bound underlay delivery callback (fast path): built once
+        #: when ``deliver_to_peer`` is wired, instead of a fresh closure
+        #: per transmitted frame.
+        self._deliver_fn = None
         #: Optional frame signer installed by the network when message
         #: authentication is deployed (Sec IV-B).
         self.sign_frame: Callable[[Frame], None] | None = None
@@ -134,6 +147,23 @@ class OverlayLink:
         self._recover_count = 0
         self._last_switch = -MIN_SWITCH_INTERVAL
         self._started = False
+        self._hello_timer = None
+        self._check_timer = None
+        #: Hoisted silence timeout (hello_interval * miss_threshold) —
+        #: recomputing it per check tick / usability probe was measurable
+        #: in steady state.
+        self._silence_timeout = config.hello_interval * config.miss_threshold
+        self._fastpath = config.control_fastpath
+        #: Per-carrier pre-resolved underlay channels, refreshed when the
+        #: Internet's carrier structure generation moves.
+        self._channels: dict[str, object] = {}
+        self._chan_gen = -1
+        #: Version-stamped hello feedback snapshot (fast path): rebuilt
+        #: only when some carrier's loss estimate changed. Rebuilds make
+        #: a NEW dict, so frames already in flight keep the old snapshot.
+        self._feedback: dict[str, float] = {}
+        self._feedback_version = -1
+        self._hello_wire: int | None = None
 
     # ----------------------------------------------------------- wiring
 
@@ -142,44 +172,105 @@ class OverlayLink:
         """The carrier currently used for data frames."""
         return self.carriers[self.carrier_idx]
 
+    @property
+    def deliver_to_peer(self) -> Callable[[Frame], None] | None:
+        """Frame handler at the peer node (assigned by network wiring).
+
+        Setting it also pre-binds the one underlay delivery callback the
+        fast path hands to :meth:`Internet.send_via` for every frame on
+        this link — the per-frame closure of the slow path, built once.
+        """
+        return self._deliver_to_peer
+
+    @deliver_to_peer.setter
+    def deliver_to_peer(self, fn: Callable[[Frame], None] | None) -> None:
+        self._deliver_to_peer = fn
+        if fn is None:
+            self._deliver_fn = None
+        else:
+            def _deliver(datagram, _fn=fn):
+                _fn(datagram.payload)
+
+            self._deliver_fn = _deliver
+
     def start(self) -> None:
         """Begin hello probing (on every carrier) and failure checks."""
         if self._started:
             return
         self._started = True
-        self.sim.schedule(0.0, self._hello_tick)
-        self.sim.schedule(self.config.hello_interval, self._check_tick)
+        self._hello_timer = self.sim.schedule_periodic(
+            self.config.hello_interval, self._hello_tick, first=0.0
+        )
+        self._check_timer = self.sim.schedule_periodic(
+            self.config.hello_interval, self._check_tick
+        )
+
+    def _channel(self, name: str):
+        """Pre-resolved underlay channel for carrier ``name`` (cached;
+        refetched when the Internet's carrier structure changes)."""
+        if self._chan_gen != self.internet.channel_gen:
+            self._channels.clear()
+            self._chan_gen = self.internet.channel_gen
+        chan = self._channels.get(name)
+        if chan is None:
+            chan = self.internet.channel(self.node_host, self.nbr_host, name)
+            self._channels[name] = chan
+        return chan
 
     def transmit(self, frame: Frame, carrier: str | None = None) -> None:
         """Send a link-level frame to the neighbor (data frames ride the
         selected carrier; hellos pass an explicit probe carrier)."""
-        if self.deliver_to_peer is None:
+        if self._deliver_to_peer is None:
             raise RuntimeError(f"link {self.node_id}->{self.nbr_id} not wired")
         if self.muted:
             return
         if self.sign_frame is not None:
             self.sign_frame(frame)
-        self.bytes_sent += frame.wire_size
+        wire = frame.wire_size
+        self.bytes_sent += wire
         self.frames_sent += 1
         if frame.msg is not None:
-            self.data_bytes_sent += frame.wire_size
+            self.data_bytes_sent += wire
             self.data_frames_sent += 1
-        deliver = self.deliver_to_peer
-        self.internet.send(
-            self.node_host,
-            self.nbr_host,
-            frame,
-            frame.wire_size,
-            carrier if carrier is not None else self.carrier,
-            lambda datagram: deliver(datagram.payload),
-        )
+        name = carrier if carrier is not None else self.carriers[self.carrier_idx]
+        if self._fastpath:
+            self.internet.send_via(
+                self._channel(name), frame, wire, self._deliver_fn
+            )
+        else:
+            deliver = self._deliver_to_peer
+            self.internet.send(
+                self.node_host,
+                self.nbr_host,
+                frame,
+                wire,
+                name,
+                lambda datagram: deliver(datagram.payload),
+            )
 
     # ------------------------------------------------------------ hellos
 
     def _hello_tick(self) -> None:
-        feedback = {
-            name: monitor.loss_est for name, monitor in self._rx.items()
-        }
+        hello_wire = None
+        if self._fastpath:
+            version = sum(monitor.version for monitor in self._rx.values())
+            if version != self._feedback_version:
+                self._feedback = {
+                    name: monitor.loss_est for name, monitor in self._rx.items()
+                }
+                self._feedback_version = version
+                # Hello frames have a fixed info layout (3 scalars plus
+                # the nested feedback dict), so their wire size only
+                # changes when the feedback dict does — precompute it
+                # here instead of re-walking the dict per frame. Must
+                # match Frame.wire_size's control accounting exactly.
+                self._hello_wire = 16 + 8 * (3 + len(self._feedback))
+            feedback = self._feedback
+            hello_wire = self._hello_wire
+        else:
+            feedback = {
+                name: monitor.loss_est for name, monitor in self._rx.items()
+            }
         for name in self.carriers:
             frame = Frame(
                 proto="control",
@@ -192,10 +283,10 @@ class OverlayLink:
                     "ts": self.sim.now,
                     "feedback": feedback,
                 },
+                wire_override=hello_wire,
             )
             self._hello_seq[name] += 1
             self.transmit(frame, carrier=name)
-        self.sim.schedule(self.config.hello_interval, self._hello_tick)
 
     def on_hello(self, info: dict) -> None:
         """Handle a hello received from the neighbor on some carrier
@@ -219,14 +310,13 @@ class OverlayLink:
                 self._set_up(True)
 
     def _check_tick(self) -> None:
-        timeout = self.config.hello_interval * self.config.miss_threshold
+        timeout = self._silence_timeout
         silent = (
             self._last_rx_time < 0 or self.sim.now - self._last_rx_time > timeout
         )
         if self.up and silent:
             self._set_up(False)
         self._maybe_switch_carrier()
-        self.sim.schedule(self.config.hello_interval, self._check_tick)
 
     def _set_up(self, up: bool) -> None:
         self.up = up
@@ -246,10 +336,9 @@ class OverlayLink:
     def _carrier_usable(self, name: str) -> bool:
         """A carrier is usable if we have heard from it recently."""
         monitor = self._rx[name]
-        timeout = self.config.hello_interval * self.config.miss_threshold
         return (
             monitor.last_rx_time >= 0
-            and self.sim.now - monitor.last_rx_time <= timeout
+            and self.sim.now - monitor.last_rx_time <= self._silence_timeout
         )
 
     def _maybe_switch_carrier(self) -> None:

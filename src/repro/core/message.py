@@ -133,7 +133,7 @@ class ServiceSpec:
         return replace(self, params=tuple(sorted(merged.items())))
 
 
-@dataclass
+@dataclass(slots=True)
 class OverlayMessage:
     """One application message traversing the overlay.
 
@@ -177,7 +177,7 @@ class OverlayMessage:
         return self.size + OVERLAY_HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """A link-level frame between two neighboring overlay nodes.
 
@@ -209,7 +209,14 @@ class Frame:
         base = 16  # link-level header
         if self.msg is not None:
             return base + self.msg.wire_size
-        return base + 8 * max(1, len(self.info))
+        # Control frames: 8 bytes per info entry, where a nested mapping
+        # (e.g. a hello's per-carrier feedback dict) counts per entry —
+        # flattening it to one entry would undercount control bytes.
+        entries = len(self.info)
+        for value in self.info.values():
+            if type(value) is dict:
+                entries += len(value) - 1
+        return base + 8 * max(1, entries)
 
 
 def flow_id(src: Address, dst: Address, service: ServiceSpec) -> str:

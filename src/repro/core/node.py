@@ -71,6 +71,8 @@ class OverlayNode:
         self._gsu_seq = 0
         self._advertised: dict[str, float | None] = {}
         self._started = False
+        self._refresh_timer = None
+        self._metric_timer = None
         self._protocol_epochs = 0
         self.crashed = False
 
@@ -92,13 +94,16 @@ class OverlayNode:
             link.start()
         self.originate_lsu()
         self.originate_gsu()
-        self.sim.schedule(self.config.lsu_refresh, self._refresh_tick)
-        self.sim.schedule(METRIC_CHECK_INTERVAL, self._metric_tick)
+        self._refresh_timer = self.sim.schedule_periodic(
+            self.config.lsu_refresh, self._refresh_tick
+        )
+        self._metric_timer = self.sim.schedule_periodic(
+            METRIC_CHECK_INTERVAL, self._metric_tick
+        )
 
     def _refresh_tick(self) -> None:
         self.originate_lsu()
         self.originate_gsu()
-        self.sim.schedule(self.config.lsu_refresh, self._refresh_tick)
 
     def _metric_tick(self) -> None:
         """Originate a fresh LSU when measured link costs have drifted
@@ -114,7 +119,6 @@ class OverlayNode:
             if changed:
                 self.originate_lsu()
                 break
-        self.sim.schedule(METRIC_CHECK_INTERVAL, self._metric_tick)
 
     # ------------------------------------------------------ shared state
 

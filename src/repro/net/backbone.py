@@ -67,6 +67,9 @@ class FiberLink:
         #: recovery protocols must absorb without spurious requests.
         self.jitter = jitter
         self.failed = False
+        #: Per-link loss RNG stream, filled in by the Internet on first
+        #: traversal (cached here to keep the per-hop path lookup-free).
+        self._loss_rng = None
         self._busy_until = {FWD: 0.0, REV: 0.0}
         self.bytes_carried = 0
         self.packets_carried = 0

@@ -21,7 +21,7 @@ from typing import Any, Callable
 
 from repro.net.backbone import FiberLink, RoutingDomain
 from repro.net.loss import LossModel
-from repro.net.packet import Datagram
+from repro.net.packet import HEADER_BYTES, Datagram
 from repro.sim.events import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Counter
@@ -38,6 +38,31 @@ _MAX_HOPS = 64
 
 DeliverFn = Callable[[Datagram], None]
 DropFn = Callable[[Datagram, str], None]
+
+
+class Channel:
+    """A pre-resolved (src host, dst host, carrier) sending context.
+
+    Resolving a carrier — picking the routing domain and the source /
+    destination router labels — costs several dict lookups per datagram.
+    For fixed channels like an overlay link's hello stream, the overlay
+    fetches a :class:`Channel` once via :meth:`Internet.channel` and
+    sends through :meth:`Internet.send_via`, skipping per-frame
+    resolution. Channels are invalidated wholesale (see
+    :attr:`Internet.channel_gen`) when the carrier structure changes —
+    a new ISP, peering, or host attachment.
+    """
+
+    __slots__ = ("src", "dst", "domain", "src_label", "dst_label", "src_access")
+
+    def __init__(self, src: str, dst: str, domain, src_label, dst_label,
+                 src_access: float) -> None:
+        self.src = src
+        self.dst = dst
+        self.domain = domain
+        self.src_label = src_label
+        self.dst_label = dst_label
+        self.src_access = src_access
 
 
 class Host:
@@ -82,6 +107,11 @@ class Internet:
         self.counters = Counter()
         self._peerings: list[tuple[str, Any, str, Any, FiberLink]] = []
         self._native: RoutingDomain | None = None
+        #: Bumped whenever carrier resolution may change (new ISP,
+        #: peering, attachment); cached :class:`Channel` holders compare
+        #: against it and re-fetch when stale.
+        self.channel_gen = 0
+        self._channels: dict[tuple[str, str, str], Channel] = {}
 
     # --------------------------------------------------------- building
 
@@ -94,7 +124,12 @@ class Internet:
         domain = RoutingDomain(name, self.sim, convergence_delay)
         self.isps[name] = domain
         self._native = None
+        self._invalidate_channels()
         return domain
+
+    def _invalidate_channels(self) -> None:
+        self._channels.clear()
+        self.channel_gen += 1
 
     def add_peering(
         self,
@@ -108,6 +143,7 @@ class Internet:
         link = FiberLink(f"peer:{isp_a}:{router_a}~{isp_b}:{router_b}", delay)
         self._peerings.append((isp_a, router_a, isp_b, router_b, link))
         self._native = None
+        self._invalidate_channels()
         return link
 
     def add_host(self, name: str, access_delay: float = 0.0005) -> Host:
@@ -125,6 +161,7 @@ class Internet:
         if router not in domain._adj:
             domain.add_router(router)
         host.attachments[isp] = router
+        self._invalidate_channels()
 
     @property
     def native(self) -> RoutingDomain:
@@ -226,6 +263,21 @@ class Internet:
 
     # --------------------------------------------------------- sending
 
+    def channel(self, src: str, dst: str, carrier: str) -> Channel:
+        """The pre-resolved sending context for (src, dst, carrier) —
+        cached; cleared when the carrier structure changes (compare
+        :attr:`channel_gen` to detect staleness of a held reference)."""
+        key = (src, dst, carrier)
+        chan = self._channels.get(key)
+        if chan is None:
+            domain, src_label, dst_label = self._resolve(src, dst, carrier)
+            chan = Channel(
+                src, dst, domain, src_label, dst_label,
+                self.hosts[src].access_delay,
+            )
+            self._channels[key] = chan
+        return chan
+
     def send(
         self,
         src: str,
@@ -244,7 +296,7 @@ class Internet:
         self.counters.add("datagrams-sent")
         self.counters.add("bytes-sent", datagram.wire_size)
         src_host = self.hosts[src]
-        self.sim.schedule(
+        event = self.sim.schedule(
             src_host.access_delay,
             self._hop,
             domain,
@@ -255,6 +307,41 @@ class Internet:
             on_drop,
             0,
         )
+        if self.sim.recycle_timers:
+            datagram._chain = event
+        return datagram
+
+    def send_via(
+        self,
+        chan: Channel,
+        payload: Any,
+        size: int,
+        on_deliver: DeliverFn,
+        on_drop: DropFn | None = None,
+    ) -> Datagram:
+        """:meth:`send` through a pre-resolved :class:`Channel` — the
+        control-plane fast path (identical delivery semantics, counters,
+        and event ordering; no per-frame carrier resolution)."""
+        # Reads the simulator's _now directly: this is the per-frame
+        # fast path, and the property indirection shows up in profiles.
+        datagram = Datagram(chan.src, chan.dst, payload, size,
+                            sent_at=self.sim._now)
+        add = self.counters.add
+        add("datagrams-sent")
+        add("bytes-sent", size + HEADER_BYTES)
+        event = self.sim.schedule(
+            chan.src_access,
+            self._hop,
+            chan.domain,
+            chan.src_label,
+            chan.dst_label,
+            datagram,
+            on_deliver,
+            on_drop,
+            0,
+        )
+        if self.sim.recycle_timers:
+            datagram._chain = event
         return datagram
 
     def _hop(
@@ -269,7 +356,19 @@ class Internet:
     ) -> None:
         if router == dst_label:
             dst_host = self.hosts[datagram.dst]
-            self.sim.schedule(dst_host.access_delay, self._deliver, datagram, on_deliver)
+            chain = datagram._chain
+            if chain is not None:
+                # Recycle the chain's event for the final delivery step
+                # (fresh seq at the same allocation point — identical
+                # ordering to scheduling a new event).
+                self.sim.repush(
+                    chain, self.sim._now + dst_host.access_delay,
+                    self._deliver, (datagram, on_deliver),
+                )
+            else:
+                self.sim.schedule(
+                    dst_host.access_delay, self._deliver, datagram, on_deliver
+                )
             return
         if hops >= _MAX_HOPS:
             self._drop(datagram, DROP_TTL, on_drop)
@@ -279,28 +378,45 @@ class Internet:
             self._drop(datagram, DROP_NO_ROUTE, on_drop)
             return
         link, direction = domain.link_on_path(router, nxt)
-        rng = self.rngs.stream(f"loss:{link.name}")
-        arrival = link.traverse(self.sim.now, datagram.wire_size, direction, rng)
+        # The loss stream for a link never changes identity; cache it on
+        # the link itself rather than re-deriving "loss:<name>" per hop.
+        rng = link._loss_rng
+        if rng is None:
+            rng = link._loss_rng = self.rngs.stream(f"loss:{link.name}")
+        arrival = link.traverse(
+            self.sim._now, datagram.size + HEADER_BYTES, direction, rng
+        )
         if arrival is None:
             self._drop(datagram, DROP_LINK, on_drop)
             return
-        self.sim.schedule_at(
-            arrival,
-            self._hop,
-            domain,
-            nxt,
-            dst_label,
-            datagram,
-            on_deliver,
-            on_drop,
-            hops + 1,
-        )
+        chain = datagram._chain
+        if chain is not None:
+            self.sim.repush(
+                chain, arrival, None,
+                (domain, nxt, dst_label, datagram, on_deliver, on_drop, hops + 1),
+            )
+        else:
+            self.sim.schedule_at(
+                arrival,
+                self._hop,
+                domain,
+                nxt,
+                dst_label,
+                datagram,
+                on_deliver,
+                on_drop,
+                hops + 1,
+            )
 
     def _deliver(self, datagram: Datagram, on_deliver: DeliverFn) -> None:
+        # Break the datagram <-> chain-event reference cycle so both die
+        # by refcount, not in a gc sweep.
+        datagram._chain = None
         self.counters.add("datagrams-delivered")
         on_deliver(datagram)
 
     def _drop(self, datagram: Datagram, reason: str, on_drop: DropFn | None) -> None:
+        datagram._chain = None
         self.counters.add(f"drop:{reason}")
         if on_drop is not None:
             on_drop(datagram, reason)

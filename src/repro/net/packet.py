@@ -18,7 +18,7 @@ _ids = itertools.count()
 HEADER_BYTES = 28
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
     """One underlay datagram.
 
@@ -37,6 +37,10 @@ class Datagram:
     size: int
     sent_at: float = 0.0
     uid: int = field(default_factory=lambda: next(_ids))
+    #: Internal: the recycled continuation event carrying this datagram
+    #: through its hop chain (set by the Internet when the simulator
+    #: has event recycling enabled; never user-facing).
+    _chain: Any = field(default=None, repr=False, compare=False)
 
     @property
     def wire_size(self) -> int:

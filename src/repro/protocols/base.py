@@ -147,6 +147,8 @@ class PacedSender:
         self.capacity_bps = capacity_bps
         self.source = source
         self._busy = False
+        #: Recycled serialization timer — one object across all frames.
+        self._tx_timer = sim.timer(self._tx_done)
 
     def kick(self) -> None:
         """Try to transmit the next frame (no-op while serializing)."""
@@ -163,7 +165,7 @@ class PacedSender:
         else:
             tx_time = wire_size * 8.0 / self.capacity_bps
         self._busy = True
-        self.sim.schedule(tx_time, self._tx_done)
+        self._tx_timer.reschedule(tx_time)
 
     def _tx_done(self) -> None:
         self._busy = False

@@ -46,7 +46,7 @@ class ITReliableProtocol(LinkProtocol):
         self._inflight: dict[str, int] = {}
         self._unacked: dict[tuple[str, int], tuple[OverlayMessage, float]] = {}
         self._space_waiters: list[DoneFn] = []
-        self._rto_event = None
+        self._rto_timer = self.sim.timer(self._rto_scan)
         self._pacer = PacedSender(
             self.sim, self.config.access_capacity_bps, self._dequeue
         )
@@ -104,13 +104,11 @@ class ITReliableProtocol(LinkProtocol):
             waiter()
 
     def _arm_rto(self) -> None:
-        if self._rto_event is not None and not self._rto_event.cancelled:
+        if self._rto_timer.active:
             return
-        rto = max(0.01, RTO_FACTOR * self.link.rtt)
-        self._rto_event = self.sim.schedule(rto, self._rto_scan)
+        self._rto_timer.reschedule(max(0.01, RTO_FACTOR * self.link.rtt))
 
     def _rto_scan(self) -> None:
-        self._rto_event = None
         if not self._unacked:
             return
         rto = max(0.01, RTO_FACTOR * self.link.rtt)

@@ -41,14 +41,14 @@ class ReliableLinkProtocol(LinkProtocol):
         self._next_seq = 0
         self._buffer: dict[int, OverlayMessage] = {}
         self._buffer_order: deque[int] = deque()
-        self._tail_event = None
+        self._tail_timer = self.sim.timer(self._tail_check)
         self._last_send = 0.0
         # Receiver state.
         self._rcv_next = 0
         self._max_seen = -1
         self._received: set[int] = set()
-        self._nack_event = None
-        self._ack_event = None
+        self._nack_timer = self.sim.timer(self._send_nack)
+        self._ack_timer = self.sim.timer(self._send_ack)
 
     # ------------------------------------------------------------ sender
 
@@ -71,13 +71,11 @@ class ReliableLinkProtocol(LinkProtocol):
         gap — which never happens for the last frame of a burst. The
         tail guard retransmits still-unacknowledged frames once the
         stream goes quiet, closing that hole (complete reliability)."""
-        if self._tail_event is not None and not self._tail_event.cancelled:
+        if self._tail_timer.active:
             return
-        guard = self.link.rtt + ACK_INTERVAL + 0.01
-        self._tail_event = self.sim.schedule(guard, self._tail_check)
+        self._tail_timer.reschedule(self.link.rtt + ACK_INTERVAL + 0.01)
 
     def _tail_check(self) -> None:
-        self._tail_event = None
         if not self._buffer:
             return
         if not self.link.up:
@@ -127,9 +125,7 @@ class ReliableLinkProtocol(LinkProtocol):
         self._rcv_next = 0
         self._max_seen = -1
         self._received.clear()
-        if self._nack_event is not None:
-            self._nack_event.cancel()
-            self._nack_event = None
+        self._nack_timer.cancel()
 
     def _on_data(self, frame: Frame) -> None:
         seq = frame.link_seq
@@ -168,12 +164,11 @@ class ReliableLinkProtocol(LinkProtocol):
         ][:NACK_BATCH]
 
     def _arm_nack(self, delay: float) -> None:
-        if self._nack_event is not None and not self._nack_event.cancelled:
+        if self._nack_timer.active:
             return
-        self._nack_event = self.sim.schedule(delay, self._send_nack)
+        self._nack_timer.reschedule(delay)
 
     def _send_nack(self) -> None:
-        self._nack_event = None
         missing = self._missing()
         if not missing:
             return
@@ -183,10 +178,9 @@ class ReliableLinkProtocol(LinkProtocol):
         self._arm_nack(self.link.rtt + 0.005)
 
     def _arm_ack(self) -> None:
-        if self._ack_event is not None and not self._ack_event.cancelled:
+        if self._ack_timer.active:
             return
-        self._ack_event = self.sim.schedule(ACK_INTERVAL, self._send_ack)
+        self._ack_timer.reschedule(ACK_INTERVAL)
 
     def _send_ack(self) -> None:
-        self._ack_event = None
         self.transmit("ack", info={"cum": self._rcv_next - 1})

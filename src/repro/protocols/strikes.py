@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.core.message import Frame, OverlayMessage
 from repro.protocols.base import LinkProtocol
-from repro.sim.events import Event
+from repro.sim.events import PeriodicEvent
 
 #: Receiver-side gap-detection delay before the first request.
 DETECTION_DELAY = 0.001
@@ -55,12 +55,15 @@ class NMStrikesProtocol(LinkProtocol):
         self._next_seq = 0
         self._buffer: dict[int, OverlayMessage] = {}
         self._order: list[int] = []
-        self._retrans_scheduled: set[int] = set()
+        #: seq -> multi-fire retransmission timer (kept after the timer
+        #: exhausts its M strikes, as the "already scheduled" marker).
+        self._retrans_timers: dict[int, PeriodicEvent] = {}
         # Receiver state.
         self._max_seen = -1
         self._floor = 0  # seqs below this are forgotten
         self._received: set[int] = set()
-        self._pending_requests: dict[int, list[Event]] = {}
+        #: missing seq -> multi-fire request timer (N strikes).
+        self._pending_requests: dict[int, PeriodicEvent] = {}
 
     # ------------------------------------------------------------ sender
 
@@ -74,7 +77,9 @@ class NMStrikesProtocol(LinkProtocol):
             del self._order[: len(self._order) // 2]
             for old in drop:
                 self._buffer.pop(old, None)
-                self._retrans_scheduled.discard(old)
+                timer = self._retrans_timers.pop(old, None)
+                if timer is not None:
+                    timer.cancel()
         self.transmit("data", msg, link_seq=seq)
         return True
 
@@ -83,16 +88,21 @@ class NMStrikesProtocol(LinkProtocol):
         msg = self._buffer.get(seq)
         if msg is None:
             return
-        if seq in self._retrans_scheduled:
+        if seq in self._retrans_timers:
             # M retransmissions already scheduled by the first request.
             return
-        self._retrans_scheduled.add(seq)
         m = self.param(msg, "m", self.default_m)
         spacing = self.param(msg, "retr_spacing", 0.02)
-        for i in range(m):
-            self.sim.schedule(i * spacing, self._retransmit, seq)
+        self._retrans_timers[seq] = self.sim.schedule_periodic(
+            spacing, self._retransmit, seq, m, first=0.0
+        )
 
-    def _retransmit(self, seq: int) -> None:
+    def _retransmit(self, seq: int, m: int) -> None:
+        timer = self._retrans_timers.get(seq)
+        if timer is not None and timer.fired >= m:
+            # mth strike: stop the cadence (the dict entry stays as the
+            # already-scheduled marker until buffer eviction).
+            timer.cancel()
         msg = self._buffer.get(seq)
         if msg is None:
             return
@@ -143,24 +153,26 @@ class NMStrikesProtocol(LinkProtocol):
             return
         n = self.param(context_msg, "n", self.default_n)
         spacing = self.param(context_msg, "req_spacing", 0.02)
-        events = [
-            self.sim.schedule(DETECTION_DELAY + i * spacing, self._send_request, seq)
-            for i in range(n)
-        ]
-        self._pending_requests[seq] = events
+        self._pending_requests[seq] = self.sim.schedule_periodic(
+            spacing, self._send_request, seq, n, first=DETECTION_DELAY
+        )
 
-    def _send_request(self, seq: int) -> None:
+    def _send_request(self, seq: int, n: int) -> None:
+        timer = self._pending_requests.get(seq)
+        if timer is not None and timer.fired >= n:
+            # nth strike: stop re-arming; the entry stays until the
+            # packet arrives (or compaction forgets it), matching the
+            # old bound on concurrently tracked missing packets.
+            timer.cancel()
         if seq in self._received:
             return
         self.counters.add("strikes-request")
         self.transmit("req", info={"seq": seq})
 
     def _cancel_requests(self, seq: int) -> None:
-        events = self._pending_requests.pop(seq, None)
-        if events is None:
-            return
-        for event in events:
-            event.cancel()
+        timer = self._pending_requests.pop(seq, None)
+        if timer is not None:
+            timer.cancel()
 
     def _compact(self) -> None:
         """Forget ancient receiver state (timeliness means nothing older

@@ -14,6 +14,34 @@ time comes — *lazy deletion* — but the simulator keeps a live count
 compacts the heap in one pass whenever cancelled entries outnumber
 live ones, so retransmission-heavy scenarios cannot bloat the queue
 with dead weight.
+
+Recurring timers
+----------------
+
+Steady-state control planes are dominated by periodic work — hello
+probes on every overlay-link carrier, failure-check ticks, LSU
+refreshes, ack/RTO scans. :meth:`Simulator.schedule_periodic` returns a
+:class:`PeriodicEvent` that the run loop **re-arms by recycling the
+same object**: after the callback returns, the event's ``(time, seq)``
+is advanced (fresh ``seq``, so the deterministic total order is
+preserved) and the object is pushed back onto the heap — no per-tick
+allocation. :meth:`Simulator.timer` creates the manual-re-arm variant
+used by protocol ack/RTO/tail timers: it stays dormant until
+:meth:`PeriodicEvent.reschedule` arms it, fires once, and is re-armed
+in place the next time the protocol needs it.
+
+In recycling mode the heap holds ``(time, seq, event)`` entries rather
+than the events themselves: heap sifting then compares floats and ints
+at C level instead of calling :meth:`Event.__lt__` once per sift step,
+which is the single largest cost in a steady-state run. ``seq`` is
+unique, so the event object itself is never compared.
+
+Constructing the simulator with ``recycle_timers=False`` switches both
+mechanisms (and the internet's continuation-event recycling) back to
+allocating a fresh one-shot :class:`Event` per tick, queued directly
+and compared via ``__lt__`` — the pre-recycling behaviour, kept as the
+benchmark baseline. Both modes allocate sequence numbers at identical
+points, so they produce byte-identical traces.
 """
 
 from __future__ import annotations
@@ -41,6 +69,10 @@ class Event:
 
     __slots__ = ("time", "seq", "fn", "args", "_cancelled", "_queued", "_sim")
 
+    #: Class-level flag checked by the run loop; :class:`PeriodicEvent`
+    #: overrides it (cheaper than an isinstance check per event).
+    periodic = False
+
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
                  sim: "Simulator | None" = None):
         self.time = time
@@ -65,12 +97,134 @@ class Event:
         return self._cancelled
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Only the legacy (recycle_timers=False) heap compares events
+        # directly; the recycling heap orders (time, seq, event) tuples
+        # at C level and never reaches this method.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self._cancelled else "pending"
         name = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class _LegacyEvent(Event):
+    """The pre-recycling :class:`Event`, kept verbatim: tuple-building
+    ``(time, seq)`` comparison. ``Simulator(recycle_timers=False)``
+    allocates these so the benchmark baseline pays pre-PR costs."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class PeriodicEvent(Event):
+    """A recurring timer that recycles one heap entry across firings.
+
+    Two flavors share this class:
+
+    * ``auto=True`` (:meth:`Simulator.schedule_periodic`) — after each
+      firing the run loop re-arms the event at ``time + interval`` with
+      a fresh ``seq``, exactly as if the callback had ended with
+      ``sim.schedule(interval, fn)`` — but mutating the same object
+      instead of allocating a new one.
+    * ``auto=False`` (:meth:`Simulator.timer`) — a dormant, recyclable
+      one-shot: each :meth:`reschedule` arms one firing. This is the
+      shape of protocol ack/NACK/RTO/tail timers, which are re-armed
+      on demand rather than on a fixed cadence.
+
+    ``cancel()`` stops future firings (for auto timers, the re-arm after
+    a firing in progress is suppressed too); ``reschedule(interval)``
+    re-arms a cancelled/dormant timer, or moves a queued one to
+    ``now + interval``. ``fired`` / ``rearmed`` count this timer's
+    callback invocations and re-arms; the simulator aggregates them in
+    :attr:`Simulator.timer_fired` / :attr:`Simulator.timer_rearmed`.
+    """
+
+    __slots__ = ("interval", "auto", "fired", "rearmed", "_proxy")
+
+    periodic = True
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+                 sim: "Simulator", interval: float, auto: bool = True):
+        super().__init__(time, seq, fn, args, sim=sim)
+        self.interval = interval
+        self.auto = auto
+        self.fired = 0
+        self.rearmed = 0
+        #: In ``recycle_timers=False`` mode, the one-shot Event standing
+        #: in for this timer's currently armed firing (None otherwise).
+        self._proxy: Event | None = None
+
+    @property
+    def active(self) -> bool:
+        """True while a firing is armed (queued and not cancelled)."""
+        if self._proxy is not None:
+            return self._proxy._queued and not self._proxy._cancelled
+        return self._queued and not self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the timer. :meth:`reschedule` re-arms it later."""
+        super().cancel()
+        if self._proxy is not None:
+            self._proxy.cancel()
+            self._proxy = None
+
+    def reschedule(self, interval: float) -> None:
+        """(Re-)arm the timer: next firing at ``now + interval``. For
+        auto timers this also becomes the new period. Works on dormant,
+        cancelled, and still-queued timers alike (the queued firing is
+        replaced); allocates a fresh ``seq`` so the deterministic
+        (time, seq) order is identical to scheduling a fresh event."""
+        if interval < 0:
+            raise SimulationError(f"cannot reschedule into the past ({interval})")
+        if self.auto and interval <= 0:
+            raise SimulationError("auto-re-arming timers need a positive interval")
+        sim = self._sim
+        self.interval = interval
+        if sim._recycle:
+            if self._queued:
+                # Remove BEFORE clearing _cancelled so the live/dead
+                # accounting matches how the entry was counted.
+                sim._remove_queued(self)
+            self._cancelled = False
+            self.time = sim._now + interval
+            self.seq = sim._seq
+            sim._seq += 1
+            self._queued = True
+            heapq.heappush(sim._queue, (self.time, self.seq, self))
+            sim._live += 1
+        else:
+            self._cancelled = False
+            if self._proxy is not None:
+                self._proxy.cancel()
+            self._proxy = sim.schedule(interval, self._proxy_fire)
+        self.rearmed += 1
+        sim.timer_rearmed += 1
+
+    def _proxy_fire(self) -> None:
+        """Legacy-mode firing: one freshly allocated chained one-shot
+        per tick — the pre-recycling cost model, same (time, seq)s."""
+        self._proxy = None
+        sim = self._sim
+        self.fired += 1
+        sim.timer_fired += 1
+        self.fn(*self.args)
+        if self.auto and not self._cancelled and self._proxy is None:
+            self._proxy = sim.schedule(self.interval, self._proxy_fire)
+            self.rearmed += 1
+            sim.timer_rearmed += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        state = "active" if self.active else "dormant"
+        return (
+            f"<PeriodicEvent {name} every {self.interval:.6f}s "
+            f"{state} fired={self.fired}>"
+        )
 
 
 class Simulator:
@@ -80,22 +234,45 @@ class Simulator:
 
         sim = Simulator()
         sim.schedule(0.5, node.send_hello)
+        sim.schedule_periodic(0.1, link.hello_tick)
         sim.run(until=10.0)
+
+    Args:
+        recycle_timers: When True (default), periodic timers and
+            internal continuation events recycle one object across
+            firings, and the tuned run loop is used. False restores the
+            pre-recycling engine — allocate-per-tick proxy events, the
+            original run loop and event comparison — as the measured
+            baseline of ``bench_simcore``, with identical event
+            ordering and byte-identical traces.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, recycle_timers: bool = True) -> None:
         self._now = 0.0
-        self._queue: list[Event] = []
+        #: Recycling mode queues (time, seq, event) triples (C-level
+        #: heap ordering); legacy mode queues the events themselves.
+        self._queue: list = []
         self._seq = 0
         self._running = False
         self._processed = 0
         self._live = 0  # queued events that are not cancelled
         self._dead = 0  # queued events that are cancelled (lazy deletes)
+        self._recycle = recycle_timers
+        self._event_cls = Event if recycle_timers else _LegacyEvent
+        #: Aggregate periodic-timer counters (per-timer counts live on
+        #: the :class:`PeriodicEvent` itself).
+        self.timer_fired = 0
+        self.timer_rearmed = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def recycle_timers(self) -> bool:
+        """Whether timer/continuation recycling is enabled."""
+        return self._recycle
 
     @property
     def events_processed(self) -> int:
@@ -107,11 +284,25 @@ class Simulator:
         """Number of live (non-cancelled) events still queued — O(1)."""
         return self._live
 
+    def timer_stats(self) -> dict[str, int]:
+        """Aggregate periodic-timer counters, keyed ``timer.*``."""
+        return {"timer.fired": self.timer_fired, "timer.rearmed": self.timer_rearmed}
+
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn, *args)
+        if not self._recycle:
+            # Pre-recycling dispatch shape (the baseline cost model).
+            return self.schedule_at(self._now + delay, fn, *args)
+        time = self._now + delay
+        seq = self._seq
+        event = Event(time, seq, fn, args, sim=self)
+        event._queued = True
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, event))
+        self._live += 1
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run at absolute simulated ``time``."""
@@ -119,10 +310,86 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        event = Event(time, self._seq, fn, args, sim=self)
+        event = self._event_cls(time, self._seq, fn, args, sim=self)
         event._queued = True
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        if self._recycle:
+            heapq.heappush(self._queue, (time, event.seq, event))
+        else:
+            heapq.heappush(self._queue, event)
+        self._live += 1
+        return event
+
+    # -------------------------------------------------- recurring timers
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        first: float | None = None,
+    ) -> PeriodicEvent:
+        """Run ``fn(*args)`` every ``interval`` seconds, starting
+        ``first`` seconds from now (default: one full interval). The
+        returned timer re-arms itself after each firing by recycling
+        the same event object — cancel it to stop the cadence,
+        :meth:`PeriodicEvent.reschedule` to change it."""
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive ({interval})")
+        delay = interval if first is None else first
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (first={first})")
+        event = PeriodicEvent(
+            self._now + delay, self._seq, fn, args, self, interval, auto=True
+        )
+        self._seq += 1
+        if self._recycle:
+            event._queued = True
+            heapq.heappush(self._queue, (event.time, event.seq, event))
+            self._live += 1
+        else:
+            event._proxy = self.schedule(delay, event._proxy_fire)
+        return event
+
+    def timer(self, fn: Callable[..., Any], *args: Any) -> PeriodicEvent:
+        """Create a dormant, recyclable one-shot timer. It fires once,
+        ``interval`` seconds after each :meth:`PeriodicEvent.reschedule`
+        call, and never re-arms itself — the shape of protocol
+        ack/NACK/RTO timers, without a fresh :class:`Event` per arm."""
+        return PeriodicEvent(self._now, 0, fn, args, self, 0.0, auto=False)
+
+    def repush(
+        self,
+        event: Event,
+        time: float,
+        fn: Callable[..., Any] | None = None,
+        args: tuple | None = None,
+    ) -> Event:
+        """Recycle a just-fired one-shot ``event`` for its continuation:
+        re-queue the same object at absolute ``time`` with a fresh
+        ``seq`` (optionally retargeting ``fn``/``args``). The caller
+        must own the event and it must not be queued — this is the
+        internal fast path for event chains like the internet's
+        hop-by-hop datagram walk."""
+        if event._queued:
+            raise SimulationError("cannot repush an event that is still queued")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot repush at {time} before current time {self._now}"
+            )
+        event.time = time
+        seq = event.seq = self._seq
+        self._seq = seq + 1
+        if fn is not None:
+            event.fn = fn
+        if args is not None:
+            event.args = args
+        event._cancelled = False
+        event._queued = True
+        if self._recycle:
+            heapq.heappush(self._queue, (time, seq, event))
+        else:
+            heapq.heappush(self._queue, event)
         self._live += 1
         return event
 
@@ -142,15 +409,38 @@ class Simulator:
     def _compact(self) -> None:
         """Rebuild the heap without cancelled events. ``heapify`` keeps
         pop order deterministic because (time, seq) is a total order."""
-        for event in self._queue:
-            if event._cancelled:
-                event._queued = False
-        self._queue = [e for e in self._queue if not e._cancelled]
+        if self._recycle:
+            for __, __, event in self._queue:
+                if event._cancelled:
+                    event._queued = False
+            self._queue = [e for e in self._queue if not e[2]._cancelled]
+        else:
+            for event in self._queue:
+                if event._cancelled:
+                    event._queued = False
+            self._queue = [e for e in self._queue if not e._cancelled]
         heapq.heapify(self._queue)
         self._dead = 0
 
+    def _remove_queued(self, event: Event) -> None:
+        """Hard-remove one queued event (O(n); rare — only a
+        reschedule of a still-armed timer needs it)."""
+        if self._recycle:
+            # The entry still carries the event's current (time, seq):
+            # reschedule removes before mutating either.
+            self._queue.remove((event.time, event.seq, event))
+        else:
+            self._queue.remove(event)
+        heapq.heapify(self._queue)
+        event._queued = False
+        if event._cancelled:
+            self._dead -= 1
+        else:
+            self._live -= 1
+
     def _pop(self) -> Event:
-        """Pop the heap top, maintaining the live/dead accounting."""
+        """Pop the heap top, maintaining the live/dead accounting (the
+        legacy-mode heap holds events directly)."""
         event = heapq.heappop(self._queue)
         event._queued = False
         if event._cancelled:
@@ -167,6 +457,66 @@ class Simulator:
         this call. The clock is advanced to ``until`` if given, even if
         the queue drains earlier.
         """
+        if not self._recycle:
+            return self._legacy_run(until, max_events)
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        processed = 0
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        try:
+            # self._queue is re-read each iteration on purpose: a
+            # callback can trigger _compact(), which rebinds it. Heap
+            # entries are (time, seq, event) — ordered at C level.
+            while self._queue:
+                entry = self._queue[0]
+                if until is not None and entry[0] > until:
+                    break
+                heappop(self._queue)
+                event = entry[2]
+                event._queued = False
+                if event._cancelled:
+                    self._dead -= 1
+                    continue
+                self._live -= 1
+                self._now = entry[0]
+                if event.periodic:
+                    event.fired += 1
+                    self.timer_fired += 1
+                    event.fn(*event.args)
+                    if event.auto and not (event._cancelled or event._queued):
+                        # Re-arm in place: same object, fresh seq —
+                        # identical order to scheduling a new event at
+                        # the end of the callback, without allocating.
+                        time = event.time = event.time + event.interval
+                        seq = event.seq = self._seq
+                        self._seq = seq + 1
+                        event._queued = True
+                        heappush(self._queue, (time, seq, event))
+                        self._live += 1
+                        event.rearmed += 1
+                        self.timer_rearmed += 1
+                else:
+                    event.fn(*event.args)
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._processed += processed
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return processed
+
+    def _legacy_run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> int:
+        """The pre-recycling run loop, preserved verbatim as the
+        ``recycle_timers=False`` cost model: a ``_pop`` call and
+        property access per event, no hoisted heap functions. Periodic
+        timers never reach this heap directly — their per-tick proxy
+        events do — so no periodic handling is needed here."""
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
@@ -194,19 +544,45 @@ class Simulator:
     def step(self) -> bool:
         """Run a single (non-cancelled) event. Returns False if none left."""
         while self._queue:
-            event = self._pop()
-            if event.cancelled:
-                continue
+            if self._recycle:
+                event = heapq.heappop(self._queue)[2]
+                event._queued = False
+                if event._cancelled:
+                    self._dead -= 1
+                    continue
+                self._live -= 1
+            else:
+                event = self._pop()
+                if event._cancelled:
+                    continue
             self._now = event.time
-            event.fn(*event.args)
+            if event.periodic:
+                event.fired += 1
+                self.timer_fired += 1
+                event.fn(*event.args)
+                if event.auto and not (event._cancelled or event._queued):
+                    event.time += event.interval
+                    event.seq = self._seq
+                    self._seq += 1
+                    event._queued = True
+                    heapq.heappush(self._queue, (event.time, event.seq, event))
+                    self._live += 1
+                    event.rearmed += 1
+                    self.timer_rearmed += 1
+            else:
+                event.fn(*event.args)
             self._processed += 1
             return True
         return False
 
     def clear(self) -> None:
-        """Drop all pending events (the clock is left as-is)."""
-        for event in self._queue:
+        """Drop all pending events (the clock is left as-is). Periodic
+        timers are cancelled — re-arm survivors with ``reschedule``."""
+        for entry in self._queue:
+            event = entry[2] if self._recycle else entry
             event._queued = False
+            if event.periodic:
+                event._cancelled = True
         self._queue.clear()
         self._live = 0
         self._dead = 0
