@@ -16,7 +16,9 @@ the storm adaptive spends like plain disjoint paths (cheapest); total
 cost: disjoint < adaptive < static graph < flooding.
 """
 
+from repro.analysis.runner import run_sweep
 from repro.analysis.scenarios import continental_scenario
+from repro.analysis.sweep import Cell, Sweep, with_counters
 from repro.apps.remote import RemoteManipulationSession
 from repro.core.message import (
     LINK_SINGLE_STRIKE,
@@ -28,7 +30,7 @@ from repro.core.message import (
 )
 from repro.net.loss import BernoulliLoss, NoLoss
 
-from bench_util import print_table, run_experiment
+from bench_util import print_table, run_experiment, sweep_main
 
 SCHEMES = [
     ("2 disjoint (static)",
@@ -44,6 +46,7 @@ SCHEMES = [
 RATE = 50.0
 STORM_LOSS = 0.35
 DST_CITY = "LAX"
+SEED = 3401
 
 
 def _storm_links(internet):
@@ -58,7 +61,7 @@ def _storm_links(internet):
     return links
 
 
-def _run_scheme(service: ServiceSpec, seed: int) -> dict:
+def _run_scheme(seed: int, service: ServiceSpec):
     scn = continental_scenario(seed=seed)
     session = RemoteManipulationSession(
         scn.overlay, "site-NYC", f"site-{DST_CITY}", rate_pps=RATE,
@@ -79,25 +82,39 @@ def _run_scheme(service: ServiceSpec, seed: int) -> dict:
     scn.run_for(42.0)
     stats = session.stats()
     datagrams = scn.internet.counters.get("datagrams-sent") - sent_before
-    return {
+    return with_counters({
         "on_time": stats.on_time_ratio,
         "datagrams_per_cmd": datagrams / max(1, stats.commands_sent),
-    }
+    }, scn)
 
 
-def run_adaptive_ablation() -> dict:
-    return {name: _run_scheme(service, seed=3401) for name, service in SCHEMES}
+SWEEP = Sweep(
+    name="ablation_adaptive_graph",
+    run_cell=_run_scheme,
+    cells=[Cell(key=name, params={"service": service}, seed=SEED)
+           for name, service in SCHEMES],
+    master_seed=SEED,
+)
 
 
-def bench_ablation_adaptive_dissemination(benchmark):
-    table = run_experiment(benchmark, run_adaptive_ablation)
+def run_adaptive_ablation(workers=None, replicates=1, cache=True):
+    return run_sweep(SWEEP, workers=workers, replicates=replicates, cache=cache)
+
+
+def show_adaptive_ablation(result) -> None:
     print_table(
         f"Ablation: dissemination schemes under a {STORM_LOSS:.0%} "
         f"destination-side loss storm (15 s of a 40 s session)",
         ["scheme", "on-time ratio", "datagrams/cmd"],
         [(name, cell["on_time"], cell["datagrams_per_cmd"])
-         for name, cell in table.items()],
+         for name, cell in result.as_table().items()],
     )
+
+
+def bench_ablation_adaptive_dissemination(benchmark):
+    result = run_experiment(benchmark, run_adaptive_ablation)
+    show_adaptive_ablation(result)
+    table = result.as_table()
     disjoint = table["2 disjoint (static)"]
     static_graph = table["problem graph (static)"]
     adaptive = table["adaptive graph"]
@@ -113,3 +130,7 @@ def bench_ablation_adaptive_dissemination(benchmark):
     # flooding.
     assert adaptive["datagrams_per_cmd"] < static_graph["datagrams_per_cmd"]
     assert adaptive["datagrams_per_cmd"] < 0.75 * flooding["datagrams_per_cmd"]
+
+
+if __name__ == "__main__":
+    sweep_main(__doc__, run_adaptive_ablation, show_adaptive_ablation)

@@ -14,6 +14,8 @@ Expected shape: offered load (~4.9 Mbit/s) overwhelms one machine;
 delivery climbs with cluster size and reaches ~100 % at size 3.
 """
 
+from repro.analysis.runner import run_sweep
+from repro.analysis.sweep import Cell, Sweep, with_counters
 from repro.analysis.workloads import CbrSource
 from repro.core.cluster import OverlayCluster
 from repro.core.config import OverlayConfig
@@ -22,16 +24,17 @@ from repro.net.topologies import line_internet
 from repro.sim.events import Simulator
 from repro.sim.rng import RngRegistry
 
-from bench_util import print_table, run_experiment
+from bench_util import print_table, run_experiment, sweep_main
 
 SIZES = [1, 2, 3]
 FLOWS = 6
 RATE = 100.0
 MACHINE_BPS = 2_000_000.0
 DURATION = 5.0
+SEED = 3501
 
 
-def _run_size(size: int, seed: int) -> dict:
+def _run_size(seed: int, size: int):
     sim = Simulator()
     rngs = RngRegistry(seed)
     internet = line_internet(sim, rngs, n_hops=1)
@@ -66,23 +69,40 @@ def _run_size(size: int, seed: int) -> dict:
         if any(r.flow == s.flow for s in sources)
     )
     offered = sum(s.sent for s in sources)
-    return {"delivery": delivered / offered}
+    return with_counters({"delivery": delivered / offered}, cluster, sim)
 
 
-def run_cluster_ablation() -> dict:
-    return {size: _run_size(size, seed=3501) for size in SIZES}
+SWEEP = Sweep(
+    name="ablation_cluster",
+    run_cell=_run_size,
+    cells=[Cell(key=size, params={"size": size}, seed=SEED) for size in SIZES],
+    master_seed=SEED,
+)
 
 
-def bench_ablation_cluster_capacity(benchmark):
-    table = run_experiment(benchmark, run_cluster_ablation)
+def run_cluster_ablation(workers=None, replicates=1, cache=True):
+    return run_sweep(SWEEP, workers=workers, replicates=replicates, cache=cache)
+
+
+def show_cluster_ablation(result) -> None:
     offered_mbps = FLOWS * RATE * (1000 + 48) * 8 / 1e6
     print_table(
         f"Ablation: cluster size vs {offered_mbps:.1f} Mbit/s offered load "
         f"({MACHINE_BPS / 1e6:.0f} Mbit/s per machine)",
         ["cluster size", "delivery ratio"],
-        [(size, cell["delivery"]) for size, cell in table.items()],
+        [(size, cell["delivery"]) for size, cell in result.as_table().items()],
     )
+
+
+def bench_ablation_cluster_capacity(benchmark):
+    result = run_experiment(benchmark, run_cluster_ablation)
+    show_cluster_ablation(result)
+    table = result.as_table()
     # One machine saturates; capacity scales with members.
     assert table[1]["delivery"] < 0.8
     assert table[2]["delivery"] > table[1]["delivery"]
     assert table[3]["delivery"] > 0.95
+
+
+if __name__ == "__main__":
+    sweep_main(__doc__, run_cluster_ablation, show_cluster_ablation)

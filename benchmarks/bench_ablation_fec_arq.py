@@ -17,6 +17,8 @@ ARQ matches or beats FEC at lower overhead; bursty loss erodes FEC.
 """
 
 from repro.analysis.metrics import flow_stats
+from repro.analysis.runner import run_sweep
+from repro.analysis.sweep import Cell, Sweep, with_counters
 from repro.analysis.workloads import CbrSource
 from repro.core.message import (
     Address,
@@ -28,13 +30,14 @@ from repro.core.message import (
 from repro.analysis.scenarios import line_scenario
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss
 
-from bench_util import print_table, run_experiment
+from bench_util import print_table, run_experiment, sweep_main
 
 RATE = 500.0
 DURATION = 20.0
 TIGHT = 0.050
 LOOSE = 0.200
 FEC_K = 4
+SEED = 3301
 
 PROTOCOLS = [
     ("fec", ServiceSpec(link=LINK_FEC)),
@@ -44,7 +47,7 @@ PROTOCOLS = [
 ]
 
 
-def _run_cell(service: ServiceSpec, bursty: bool, seed: int) -> dict:
+def _run_cell(seed: int, service: ServiceSpec, bursty: bool):
     if bursty:
         loss_factory = lambda: GilbertElliottLoss(
             mean_good=0.4, mean_bad=0.04, bad_loss=0.8
@@ -71,23 +74,31 @@ def _run_cell(service: ServiceSpec, bursty: bool, seed: int) -> dict:
         for n in scn.overlay.nodes.values()
         for l in n.links.values()
     )
-    return {
+    return with_counters({
         "tight": tight.within_deadline,
         "loose": loose.within_deadline,
         "mb_sent": wire / 1e6,
-    }
+    }, scn)
 
 
-def run_fec_vs_arq() -> dict:
-    table = {}
-    for name, service in PROTOCOLS:
-        table[("random", name)] = _run_cell(service, bursty=False, seed=3301)
-        table[("bursty", name)] = _run_cell(service, bursty=True, seed=3301)
-    return table
+SWEEP = Sweep(
+    name="ablation_fec_arq",
+    run_cell=_run_cell,
+    cells=[
+        Cell(key=(loss, name),
+             params={"service": service, "bursty": loss == "bursty"}, seed=SEED)
+        for name, service in PROTOCOLS
+        for loss in ("random", "bursty")
+    ],
+    master_seed=SEED,
+)
 
 
-def bench_ablation_fec_vs_arq(benchmark):
-    table = run_experiment(benchmark, run_fec_vs_arq)
+def run_fec_vs_arq(workers=None, replicates=1, cache=True):
+    return run_sweep(SWEEP, workers=workers, replicates=replicates, cache=cache)
+
+
+def show_fec_vs_arq(result) -> None:
     print_table(
         f"Ablation: FEC (k={FEC_K}) vs ARQ on a 20 ms link, 3% loss "
         f"({RATE:.0f} pps; tight = {TIGHT * 1000:.0f} ms, "
@@ -95,9 +106,15 @@ def bench_ablation_fec_vs_arq(benchmark):
         ["loss", "protocol", "within tight", "within loose", "MB on wire"],
         [
             (loss, name, cell["tight"], cell["loose"], cell["mb_sent"])
-            for (loss, name), cell in table.items()
+            for (loss, name), cell in result.as_table().items()
         ],
     )
+
+
+def bench_ablation_fec_vs_arq(benchmark):
+    result = run_experiment(benchmark, run_fec_vs_arq)
+    show_fec_vs_arq(result)
+    table = result.as_table()
     # Tight deadline, random loss: only FEC recovers in time (ARQ needs
     # a >= 50 ms round trip; losses simply miss the 50 ms deadline).
     assert table[("random", "fec")]["tight"] > 0.99
@@ -116,3 +133,7 @@ def bench_ablation_fec_vs_arq(benchmark):
         table[("bursty", "nm-strikes 3x2")]["loose"]
         > table[("bursty", "fec")]["loose"]
     )
+
+
+if __name__ == "__main__":
+    sweep_main(__doc__, run_fec_vs_arq, show_fec_vs_arq)

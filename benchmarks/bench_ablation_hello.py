@@ -12,20 +12,23 @@ propagation); all configurations stay sub-second down to several-hundred
 """
 
 from repro.analysis.metrics import availability_gaps
+from repro.analysis.runner import run_sweep
+from repro.analysis.sweep import Cell, Sweep, with_counters
 from repro.analysis.workloads import CbrSource
 from repro.core.config import OverlayConfig
 from repro.core.message import Address
 from repro.analysis.scenarios import triangle_scenario
 from repro.sim.trace import DeliveryRecord
 
-from bench_util import print_table, run_experiment
+from bench_util import print_table, run_experiment, sweep_main
 
 #: (hello interval s, miss threshold)
-SWEEP = [(0.05, 3), (0.1, 3), (0.2, 3), (0.1, 5)]
+CADENCES = [(0.05, 3), (0.1, 3), (0.2, 3), (0.1, 5)]
 RATE = 100.0
+SEED = 3101
 
 
-def _run_cell(hello_interval: float, misses: int, seed: int) -> dict:
+def _run_cell(seed: int, hello_interval: float, misses: int):
     config = OverlayConfig(hello_interval=hello_interval, miss_threshold=misses)
     scn = triangle_scenario(seed=seed, config=config)
     overlay = scn.overlay
@@ -43,29 +46,43 @@ def _run_cell(hello_interval: float, misses: int, seed: int) -> dict:
     scn.run_for(0.5)
     records = [DeliveryRecord("p", i, t, t, "d") for i, t in enumerate(times)]
     gaps = availability_gaps(records, expected_interval=1.0 / RATE)
-    return {
+    return with_counters({
         "outage_s": max((d for __, d in gaps), default=0.0),
         "detect_budget_s": hello_interval * misses,
-    }
+    }, scn)
 
 
-def run_hello_ablation() -> dict:
-    return {
-        (interval, misses): _run_cell(interval, misses, seed=3101)
-        for interval, misses in SWEEP
-    }
+SWEEP = Sweep(
+    name="ablation_hello",
+    run_cell=_run_cell,
+    cells=[
+        Cell(key=(interval, misses),
+             params={"hello_interval": interval, "misses": misses}, seed=SEED)
+        for interval, misses in CADENCES
+    ],
+    master_seed=SEED,
+)
 
 
-def bench_ablation_hello_cadence(benchmark):
-    table = run_experiment(benchmark, run_hello_ablation)
+def run_hello_ablation(workers=None, replicates=1, cache=True):
+    return run_sweep(SWEEP, workers=workers, replicates=replicates, cache=cache)
+
+
+def show_hello_ablation(result) -> None:
     print_table(
         "Ablation: hello cadence vs reaction to a fiber cut",
         ["hello interval s", "miss threshold", "detect budget s", "outage s"],
         [
             (interval, misses, cell["detect_budget_s"], cell["outage_s"])
-            for (interval, misses), cell in table.items()
+            for (interval, misses), cell in result.as_table().items()
         ],
     )
+
+
+def bench_ablation_hello_cadence(benchmark):
+    result = run_experiment(benchmark, run_hello_ablation)
+    show_hello_ablation(result)
+    table = result.as_table()
     for (interval, misses), cell in table.items():
         budget = cell["detect_budget_s"]
         # Outage ~ detection budget plus one check tick and LSU flood.
@@ -73,3 +90,7 @@ def bench_ablation_hello_cadence(benchmark):
         assert cell["outage_s"] < 1.5  # sub-second-to-~1s across the sweep
     # Faster hellos -> faster healing.
     assert table[(0.05, 3)]["outage_s"] < table[(0.2, 3)]["outage_s"]
+
+
+if __name__ == "__main__":
+    sweep_main(__doc__, run_hello_ablation, show_hello_ablation)

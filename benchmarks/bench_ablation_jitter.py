@@ -14,19 +14,22 @@ recovery is waste, never harm); with loss + jitter, delivery holds.
 """
 
 from repro.analysis.metrics import flow_stats
+from repro.analysis.runner import run_sweep
 from repro.analysis.scenarios import line_scenario
+from repro.analysis.sweep import Cell, Sweep, with_counters
 from repro.analysis.workloads import CbrSource
 from repro.core.message import Address, LINK_NM_STRIKES, ServiceSpec
 from repro.net.loss import BernoulliLoss
 
-from bench_util import print_table, run_experiment
+from bench_util import print_table, run_experiment, sweep_main
 
 RATE = 200.0
 DURATION = 20.0
 JITTERS = [0.0, 0.002, 0.010]  # seconds of max per-packet noise
+SEED = 3601
 
 
-def _run_cell(jitter: float, loss: float, seed: int) -> dict:
+def _run_cell(seed: int, jitter: float, loss: float):
     loss_factory = (lambda: BernoulliLoss(loss)) if loss > 0 else None
     scn = line_scenario(seed, n_hops=1, hop_delay=0.010,
                         loss_factory=loss_factory, jitter=jitter)
@@ -38,34 +41,47 @@ def _run_cell(jitter: float, loss: float, seed: int) -> dict:
     source.stop()
     scn.run_for(1.0)
     stats = flow_stats(scn.overlay.trace, source.flow, "h1:7")
-    return {
+    return with_counters({
         "delivery": stats.delivery_ratio,
         "requests": scn.overlay.counters.get("strikes-request"),
         "requests_per_kpkt": (
             scn.overlay.counters.get("strikes-request") / source.sent * 1000
         ),
-    }
+    }, scn)
 
 
-def run_jitter_ablation() -> dict:
-    table = {}
-    for jitter in JITTERS:
-        table[(jitter, 0.0)] = _run_cell(jitter, 0.0, seed=3601)
-    table[(0.010, 0.02)] = _run_cell(0.010, 0.02, seed=3601)
-    return table
+GRID = [(jitter, 0.0) for jitter in JITTERS] + [(0.010, 0.02)]
+
+SWEEP = Sweep(
+    name="ablation_jitter",
+    run_cell=_run_cell,
+    cells=[Cell(key=(jitter, loss), params={"jitter": jitter, "loss": loss},
+                seed=SEED)
+           for jitter, loss in GRID],
+    master_seed=SEED,
+)
 
 
-def bench_ablation_jitter_false_positives(benchmark):
-    table = run_experiment(benchmark, run_jitter_ablation)
+def run_jitter_ablation(workers=None, replicates=1, cache=True):
+    return run_sweep(SWEEP, workers=workers, replicates=replicates, cache=cache)
+
+
+def show_jitter_ablation(result) -> None:
     print_table(
         "Ablation: per-fiber jitter vs spurious recovery requests "
         f"(NM-Strikes, {RATE:.0f} pps, 10 ms link)",
         ["jitter ms", "loss", "delivery", "requests / 1k pkts"],
         [
             (j * 1000, loss, cell["delivery"], cell["requests_per_kpkt"])
-            for (j, loss), cell in table.items()
+            for (j, loss), cell in result.as_table().items()
         ],
     )
+
+
+def bench_ablation_jitter_false_positives(benchmark):
+    result = run_experiment(benchmark, run_jitter_ablation)
+    show_jitter_ablation(result)
+    table = result.as_table()
     # No jitter, no loss: perfectly quiet protocol.
     assert table[(0.0, 0.0)]["requests"] == 0
     # Jitter below the detection delay stays nearly quiet; heavy jitter
@@ -80,3 +96,7 @@ def bench_ablation_jitter_false_positives(benchmark):
             assert cell["delivery"] == 1.0, (j, cell)
     # Real loss under heavy jitter is still fully recovered.
     assert table[(0.010, 0.02)]["delivery"] > 0.999
+
+
+if __name__ == "__main__":
+    sweep_main(__doc__, run_jitter_ablation, show_jitter_ablation)

@@ -12,20 +12,23 @@ returns and linearly growing overhead.
 """
 
 from repro.analysis.metrics import flow_stats
+from repro.analysis.runner import run_sweep
+from repro.analysis.sweep import Cell, Sweep, with_counters
 from repro.analysis.workloads import CbrSource
 from repro.core.message import Address, LINK_NM_STRIKES, ServiceSpec
 from repro.analysis.scenarios import line_scenario
 from repro.net.loss import GilbertElliottLoss
 
-from bench_util import print_table, run_experiment
+from bench_util import print_table, run_experiment, sweep_main
 
 DEADLINE = 0.2
 RATE = 200.0
 DURATION = 30.0
 BURST = 0.05  # mean burst (correlation window) length, seconds
+SEED = 3201
 
 #: (n, m, spacing seconds)
-SWEEP = [
+PARAMS = [
     (3, 2, 0.005),   # strikes crammed inside one burst
     (3, 2, 0.020),
     (3, 2, 0.050),   # spacing ~ the correlation window
@@ -35,7 +38,7 @@ SWEEP = [
 ]
 
 
-def _run_cell(n: int, m: int, spacing: float, seed: int) -> dict:
+def _run_cell(seed: int, n: int, m: int, spacing: float):
     scn = line_scenario(
         seed, n_hops=1, hop_delay=0.020,
         loss_factory=lambda: GilbertElliottLoss(
@@ -54,27 +57,41 @@ def _run_cell(n: int, m: int, spacing: float, seed: int) -> dict:
     scn.run_for(1.0)
     stats = flow_stats(scn.overlay.trace, source.flow, "h1:7", deadline=DEADLINE)
     retrans = scn.overlay.counters.get("strikes-retransmit")
-    return {
+    return with_counters({
         "on_time": stats.within_deadline,
         "overhead": (source.sent + retrans) / source.sent,
-    }
+    }, scn)
 
 
-def run_strikes_ablation() -> dict:
-    return {(n, m, s): _run_cell(n, m, s, seed=3201) for n, m, s in SWEEP}
+SWEEP = Sweep(
+    name="ablation_strikes",
+    run_cell=_run_cell,
+    cells=[Cell(key=(n, m, s), params={"n": n, "m": m, "spacing": s}, seed=SEED)
+           for n, m, s in PARAMS],
+    master_seed=SEED,
+)
 
 
-def bench_ablation_nm_strikes_parameters(benchmark):
-    table = run_experiment(benchmark, run_strikes_ablation)
+def run_strikes_ablation(workers=None, replicates=1, cache=True):
+    return run_sweep(SWEEP, workers=workers, replicates=replicates, cache=cache)
+
+
+def show_strikes_ablation(result) -> None:
     print_table(
         f"Ablation: NM-Strikes (N, M, spacing) vs ~{BURST * 1000:.0f} ms "
         "correlated-loss bursts",
         ["N", "M", "spacing ms", "within 200 ms", "overhead"],
         [
             (n, m, s * 1000, cell["on_time"], cell["overhead"])
-            for (n, m, s), cell in table.items()
+            for (n, m, s), cell in result.as_table().items()
         ],
     )
+
+
+def bench_ablation_nm_strikes_parameters(benchmark):
+    result = run_experiment(benchmark, run_strikes_ablation)
+    show_strikes_ablation(result)
+    table = result.as_table()
     # Spacing must bypass the correlation window: cramming all strikes
     # inside one burst wastes them.
     assert table[(3, 2, 0.050)]["on_time"] > table[(3, 2, 0.005)]["on_time"]
@@ -86,3 +103,7 @@ def bench_ablation_nm_strikes_parameters(benchmark):
     assert table[(3, 2, 0.050)]["on_time"] > 0.99
     # Overhead grows with M (the 5x3 config pays visibly more).
     assert table[(5, 3, 0.030)]["overhead"] > table[(1, 1, 0.050)]["overhead"]
+
+
+if __name__ == "__main__":
+    sweep_main(__doc__, run_strikes_ablation, show_strikes_ablation)

@@ -18,13 +18,16 @@ crosses the 200 ms budget as the device-verification load approaches
 CPU saturation — the paper's "cryptography becomes a barrier" point.
 """
 
+from repro.analysis.runner import run_sweep
 from repro.analysis.scenarios import continental_scenario
+from repro.analysis.sweep import Cell, Sweep, with_counters
 from repro.apps.scada import ScadaDeployment
 from repro.core.message import Address
 from repro.security.crypto import Authenticator, KeyStore
 
-from bench_util import ms, print_table, run_experiment
+from bench_util import ms, print_table, run_experiment, sweep_main
 
+SEED = 2101
 SIZES = [4, 7, 10]
 SIGN_DELAY = 0.005
 VERIFY_DELAY = 0.001
@@ -37,7 +40,7 @@ REPLICA_CITIES = ["NYC", "CHI", "DEN", "ATL", "LAX", "SEA", "DAL", "WAS",
                   "MIA", "STL"]
 
 
-def _run_cell(n: int, device_load: float, seed: int) -> dict:
+def _run_cell(seed: int, n: int, device_load: float):
     scn = continental_scenario(seed=seed)
     auth = Authenticator(KeyStore(), sign_delay=SIGN_DELAY,
                          verify_delay=VERIFY_DELAY)
@@ -65,23 +68,27 @@ def _run_cell(n: int, device_load: float, seed: int) -> dict:
                                   payload={"cmd": "trip"}, size=128)
     scn.run_for(1.0)
     command_transit = executed[-1] - command_sent_at if executed else float("inf")
-    return {
+    return with_counters({
         "agreement_ms": ms(agreement),
         "command_ms": ms(command_transit),
         "total_ms": ms(agreement + command_transit),
-    }
+    }, scn)
 
 
-def run_scada() -> dict:
-    table = {}
-    for n in SIZES:
-        for load in DEVICE_LOADS:
-            table[(n, load)] = _run_cell(n, load, seed=2101)
-    return table
+SWEEP = Sweep(
+    name="e11_scada",
+    run_cell=_run_cell,
+    cells=[Cell(key=(n, load), params={"n": n, "device_load": load}, seed=SEED)
+           for n in SIZES for load in DEVICE_LOADS],
+    master_seed=SEED,
+)
 
 
-def bench_e11_scada_agreement_scaling(benchmark):
-    table = run_experiment(benchmark, run_scada)
+def run_scada(workers=None, replicates=1, cache=True):
+    return run_sweep(SWEEP, workers=workers, replicates=replicates, cache=cache)
+
+
+def show_scada(result) -> None:
     print_table(
         "E11: monitoring-to-execution latency of intrusion-tolerant "
         f"SCADA control ({SIGN_DELAY * 1000:.0f} ms sign / "
@@ -89,8 +96,14 @@ def bench_e11_scada_agreement_scaling(benchmark):
         ["replicas", "device verifies/s", "agreement ms", "command ms",
          "total ms"],
         [(n, f"{load:.0f}", cell["agreement_ms"], cell["command_ms"],
-          cell["total_ms"]) for (n, load), cell in table.items()],
+          cell["total_ms"]) for (n, load), cell in result.as_table().items()],
     )
+
+
+def bench_e11_scada_agreement_scaling(benchmark):
+    result = run_experiment(benchmark, run_scada)
+    show_scada(result)
+    table = result.as_table()
     # Latency grows with replica count and with device load.
     for load in DEVICE_LOADS:
         assert table[(10, load)]["total_ms"] > table[(4, load)]["total_ms"]
@@ -104,3 +117,7 @@ def bench_e11_scada_agreement_scaling(benchmark):
     # heavier polling load pushes every deployment size past the budget.
     assert table[(4, DEVICE_LOADS[2])]["total_ms"] > BUDGET * 1000
     assert table[(10, DEVICE_LOADS[2])]["total_ms"] > BUDGET * 1000
+
+
+if __name__ == "__main__":
+    sweep_main(__doc__, run_scada, show_scada)

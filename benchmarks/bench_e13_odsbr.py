@@ -19,7 +19,9 @@ window's worth of messages (~seconds) but then runs at single-path
 cost — both axes ordered exactly as the paper predicts.
 """
 
+from repro.analysis.runner import run_sweep
 from repro.analysis.scenarios import continental_scenario
+from repro.analysis.sweep import Cell, Sweep, with_counters
 from repro.analysis.workloads import CbrSource
 from repro.core.message import (
     Address,
@@ -30,14 +32,14 @@ from repro.core.message import (
 from repro.security.adversary import Blackhole
 from repro.security.odsbr import OdsbrSession
 
-from bench_util import print_table, run_experiment
+from bench_util import print_table, run_experiment, sweep_main
 
 RATE = 50.0
 ATTACK_AT = 3.0
 DURATION = 25.0
 
 
-def _run_odsbr(seed: int) -> dict:
+def _run_odsbr(seed: int):
     scn = continental_scenario(seed=seed)
     session = OdsbrSession(scn.overlay, "site-NYC", "site-LAX")
     victim = session.path[1]
@@ -54,14 +56,14 @@ def _run_odsbr(seed: int) -> dict:
         scn.run_for(interval)
     scn.run_for(2.0)
     datagrams = scn.internet.counters.get("datagrams-sent") - traffic_start
-    return {
+    return with_counters({
         "delivered": session.stats.acked / session.stats.sent,
         "lost": session.stats.sent - len(session.delivered_payloads),
         "marginal_cost": max(0.0, (datagrams - idle) / sent),
-    }
+    }, scn)
 
 
-def _run_redundant(routing: str, seed: int) -> dict:
+def _run_redundant(seed: int, routing: str):
     scn = continental_scenario(seed=seed)
     overlay = scn.overlay
     got = []
@@ -80,30 +82,54 @@ def _run_redundant(routing: str, seed: int) -> dict:
     source.stop()
     scn.run_for(2.0)
     datagrams = scn.internet.counters.get("datagrams-sent") - traffic_start
-    return {
+    return with_counters({
         "delivered": len(got) / source.sent,
         "lost": source.sent - len(got),
         "marginal_cost": max(0.0, (datagrams - idle) / source.sent),
-    }
+    }, scn)
 
 
-def run_odsbr_tradeoff() -> dict:
-    return {
-        "ODSBR (probe + reroute)": _run_odsbr(seed=4101),
-        "k=2 disjoint paths": _run_redundant(ROUTING_DISJOINT, seed=4102),
-        "constrained flooding": _run_redundant(ROUTING_FLOOD, seed=4103),
-    }
+def _run_cell(seed: int, scheme: str, routing: str | None = None):
+    if scheme == "odsbr":
+        return _run_odsbr(seed)
+    return _run_redundant(seed, routing)
 
 
-def bench_e13_odsbr_vs_redundant_dissemination(benchmark):
-    table = run_experiment(benchmark, run_odsbr_tradeoff)
+SWEEP = Sweep(
+    name="e13_odsbr",
+    run_cell=_run_cell,
+    cells=[
+        Cell(key="ODSBR (probe + reroute)",
+             params={"scheme": "odsbr"}, seed=4101),
+        Cell(key="k=2 disjoint paths",
+             params={"scheme": "redundant", "routing": ROUTING_DISJOINT},
+             seed=4102),
+        Cell(key="constrained flooding",
+             params={"scheme": "redundant", "routing": ROUTING_FLOOD},
+             seed=4103),
+    ],
+    master_seed=4101,
+)
+
+
+def run_odsbr_tradeoff(workers=None, replicates=1, cache=True):
+    return run_sweep(SWEEP, workers=workers, replicates=replicates, cache=cache)
+
+
+def show_odsbr_tradeoff(result) -> None:
     print_table(
         "E13: intrusion-tolerant unicast under a mid-stream blackhole "
         f"({RATE:.0f} pps, {DURATION:.0f} s, attack at +{ATTACK_AT:.0f} s)",
         ["scheme", "delivered", "messages lost", "marginal datagrams/msg"],
         [(name, cell["delivered"], cell["lost"], cell["marginal_cost"])
-         for name, cell in table.items()],
+         for name, cell in result.as_table().items()],
     )
+
+
+def bench_e13_odsbr_vs_redundant_dissemination(benchmark):
+    result = run_experiment(benchmark, run_odsbr_tradeoff)
+    show_odsbr_tradeoff(result)
+    table = result.as_table()
     odsbr = table["ODSBR (probe + reroute)"]
     disjoint = table["k=2 disjoint paths"]
     flooding = table["constrained flooding"]
@@ -119,3 +145,7 @@ def bench_e13_odsbr_vs_redundant_dissemination(benchmark):
     assert odsbr["marginal_cost"] < 0.5 * flooding["marginal_cost"]
     assert odsbr["marginal_cost"] < 1.5 * disjoint["marginal_cost"]
     assert disjoint["marginal_cost"] < flooding["marginal_cost"]
+
+
+if __name__ == "__main__":
+    sweep_main(__doc__, run_odsbr_tradeoff, show_odsbr_tradeoff)

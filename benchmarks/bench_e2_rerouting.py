@@ -26,7 +26,7 @@ RATE = 50.0
 NATIVE_CONVERGENCE = 40.0
 
 
-def run_rerouting() -> dict:
+def run_rerouting():
     scn = continental_scenario(
         seed=1201,
         isp_convergence_delay=30.0,
@@ -62,6 +62,8 @@ def run_rerouting() -> dict:
         return max((d for __, d in gaps), default=0.0)
 
     counters = overlay.counters.as_dict()
+    # Returning (value, scenario) lets run_experiment record the full
+    # route.*/fwd.*/timer.* counter set into benchmark.extra_info.
     return {
         "overlay_outage_s": longest_gap(overlay_times),
         "native_outage_s": longest_gap(native_times),
@@ -73,7 +75,7 @@ def run_rerouting() -> dict:
         "fwd_hits": counters.get("fwd.hit", 0),
         "fwd_misses": counters.get("fwd.miss", 0),
         "fwd_invalidations": counters.get("fwd.invalidate", 0),
-    }
+    }, scn
 
 
 def bench_e2_overlay_vs_native_rerouting(benchmark):

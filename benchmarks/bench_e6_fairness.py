@@ -16,20 +16,23 @@ attack rate grows.
 """
 
 from repro.analysis.metrics import flow_stats
+from repro.analysis.runner import run_sweep
+from repro.analysis.sweep import Cell, Sweep, with_counters
 from repro.analysis.workloads import CbrSource
 from repro.core.config import OverlayConfig
 from repro.analysis.scenarios import line_scenario
 from repro.core.message import Address, LINK_FIFO, LINK_IT_PRIORITY, ServiceSpec
 
-from bench_util import ms, print_table, run_experiment
+from bench_util import ms, print_table, run_experiment, sweep_main
 
 ATTACK_RATES = [0.0, 1500.0, 4000.0]  # 12 / 32 Mbit/s vs 10 Mbit/s capacity
 GOOD_SOURCES = 3
 GOOD_RATE = 50.0
 DURATION = 5.0
+SEED = 1601
 
 
-def _run_cell(protocol: str, attack_rate: float, seed: int) -> dict:
+def _run_cell(seed: int, protocol: str, attack_rate: float):
     scn = line_scenario(
         seed, n_hops=1, config=OverlayConfig(access_capacity_bps=10_000_000.0)
     )
@@ -58,22 +61,30 @@ def _run_cell(protocol: str, attack_rate: float, seed: int) -> dict:
         stats = flow_stats(overlay.trace, source.flow, f"h1:{7 + i}")
         ratios.append(stats.delivery_ratio)
         p99s.append(stats.latency.p99)
-    return {
+    return with_counters({
         "delivery": min(ratios),
         "p99_ms": ms(max(p99s)),
-    }
+    }, scn)
 
 
-def run_fairness() -> dict:
-    table = {}
-    for protocol in (LINK_IT_PRIORITY, LINK_FIFO):
-        for rate in ATTACK_RATES:
-            table[(protocol, rate)] = _run_cell(protocol, rate, seed=1601)
-    return table
+SWEEP = Sweep(
+    name="e6_fairness",
+    run_cell=_run_cell,
+    cells=[
+        Cell(key=(protocol, rate),
+             params={"protocol": protocol, "attack_rate": rate}, seed=SEED)
+        for protocol in (LINK_IT_PRIORITY, LINK_FIFO)
+        for rate in ATTACK_RATES
+    ],
+    master_seed=SEED,
+)
 
 
-def bench_e6_fairness_under_flooding_attack(benchmark):
-    table = run_experiment(benchmark, run_fairness)
+def run_fairness(workers=None, replicates=1, cache=True):
+    return run_sweep(SWEEP, workers=workers, replicates=replicates, cache=cache)
+
+
+def show_fairness(result) -> None:
     print_table(
         "E6: correct sources under a flooding source "
         f"(10 Mbit/s link, {GOOD_SOURCES}x{GOOD_RATE:.0f} pps correct traffic)",
@@ -81,9 +92,15 @@ def bench_e6_fairness_under_flooding_attack(benchmark):
         [
             ("IT-Priority (fair RR)" if p == LINK_IT_PRIORITY else "FIFO drop-tail",
              rate, cell["delivery"], cell["p99_ms"])
-            for (p, rate), cell in table.items()
+            for (p, rate), cell in result.as_table().items()
         ],
     )
+
+
+def bench_e6_fairness_under_flooding_attack(benchmark):
+    result = run_experiment(benchmark, run_fairness)
+    show_fairness(result)
+    table = result.as_table()
     # Without attack both behave.
     assert table[(LINK_IT_PRIORITY, 0.0)]["delivery"] > 0.99
     assert table[(LINK_FIFO, 0.0)]["delivery"] > 0.99
@@ -100,3 +117,7 @@ def bench_e6_fairness_under_flooding_attack(benchmark):
         table[(LINK_FIFO, ATTACK_RATES[2])]["delivery"]
         <= table[(LINK_FIFO, ATTACK_RATES[1])]["delivery"]
     )
+
+
+if __name__ == "__main__":
+    sweep_main(__doc__, run_fairness, show_fairness)

@@ -17,7 +17,9 @@ fraction of its cost; single path (even with recovery) trails; plain
 best-effort is worst.
 """
 
+from repro.analysis.runner import run_sweep
 from repro.analysis.scenarios import continental_scenario
+from repro.analysis.sweep import Cell, Sweep, with_counters
 from repro.apps.remote import RemoteManipulationSession
 from repro.core.message import (
     LINK_BEST_EFFORT,
@@ -29,7 +31,7 @@ from repro.core.message import (
 )
 from repro.net.loss import GilbertElliottLoss
 
-from bench_util import print_table, run_experiment
+from bench_util import print_table, run_experiment, sweep_main
 
 SCHEMES = [
     ("best-effort / single path", ServiceSpec(link=LINK_BEST_EFFORT)),
@@ -44,9 +46,10 @@ SCHEMES = [
 
 DURATION = 20.0
 RATE = 50.0
+SEED = 1701
 
 
-def _run_scheme(service: ServiceSpec, seed: int) -> dict:
+def _run_scheme(seed: int, service: ServiceSpec):
     scn = continental_scenario(
         seed=seed,
         loss_factory=lambda: GilbertElliottLoss(
@@ -60,25 +63,39 @@ def _run_scheme(service: ServiceSpec, seed: int) -> dict:
     scn.run_for(DURATION + 2.0)
     stats = session.stats()
     datagrams = scn.internet.counters.get("datagrams-sent") - sent_before
-    return {
+    return with_counters({
         "on_time": stats.on_time_ratio,
         "datagrams_per_cmd": datagrams / max(1, stats.commands_sent),
-    }
+    }, scn)
 
 
-def run_remote() -> dict:
-    return {name: _run_scheme(service, seed=1701) for name, service in SCHEMES}
+SWEEP = Sweep(
+    name="e7_remote",
+    run_cell=_run_scheme,
+    cells=[Cell(key=name, params={"service": service}, seed=SEED)
+           for name, service in SCHEMES],
+    master_seed=SEED,
+)
 
 
-def bench_e7_remote_manipulation_within_budget(benchmark):
-    table = run_experiment(benchmark, run_remote)
+def run_remote(workers=None, replicates=1, cache=True):
+    return run_sweep(SWEEP, workers=workers, replicates=replicates, cache=cache)
+
+
+def show_remote(result) -> None:
     print_table(
         "E7: round trips within 130 ms, NYC <-> LAX under bursty loss "
         f"({RATE:.0f} pps command loop)",
         ["scheme", "on-time ratio", "datagrams/cmd"],
         [(name, cell["on_time"], cell["datagrams_per_cmd"])
-         for name, cell in table.items()],
+         for name, cell in result.as_table().items()],
     )
+
+
+def bench_e7_remote_manipulation_within_budget(benchmark):
+    result = run_experiment(benchmark, run_remote)
+    show_remote(result)
+    table = result.as_table()
     be = table["best-effort / single path"]
     ss = table["single-strike / single path"]
     dj = table["single-strike / 2 disjoint"]
@@ -93,3 +110,7 @@ def bench_e7_remote_manipulation_within_budget(benchmark):
     assert dg["on_time"] > 0.99
     # ... at a clear fraction of flooding's cost.
     assert dg["datagrams_per_cmd"] < 0.7 * fl["datagrams_per_cmd"]
+
+
+if __name__ == "__main__":
+    sweep_main(__doc__, run_remote, show_remote)

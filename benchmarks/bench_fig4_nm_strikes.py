@@ -17,6 +17,8 @@ measured overhead <= 1 + M*p.
 """
 
 from repro.analysis.metrics import flow_stats
+from repro.analysis.runner import run_sweep
+from repro.analysis.sweep import Cell, Sweep, with_counters
 from repro.analysis.workloads import CbrSource
 from repro.core.config import OverlayConfig
 from repro.core.message import (
@@ -32,11 +34,12 @@ from repro.net.topologies import line_internet
 from repro.sim.events import Simulator
 from repro.sim.rng import RngRegistry
 
-from bench_util import print_table, run_experiment
+from bench_util import print_table, run_experiment, sweep_main
 
 DEADLINE = 0.200
 RATE = 200.0
 DURATION = 30.0
+SEED = 1401
 
 #: (label, mean seconds between bursts, burst length s, loss in burst)
 LOSS_LEVELS = [
@@ -91,24 +94,32 @@ def _run_cell(seed: int, level, service: ServiceSpec) -> dict:
     stats = flow_stats(overlay.trace, source.flow, "h2:7", deadline=DEADLINE)
     retrans = overlay.counters.get("strikes-retransmit")
     overhead = (source.sent + retrans) / source.sent
-    return {
+    return with_counters({
         "on_time": stats.within_deadline,
         "overhead": overhead,
-    }
+    }, overlay)
 
 
-def run_nm_strikes() -> dict:
-    table = {}
-    for level in LOSS_LEVELS:
-        for name, service in PROTOCOLS:
-            table[(level[0], name)] = _run_cell(1401, level, service)
-    return table
+SWEEP = Sweep(
+    name="fig4_nm_strikes",
+    run_cell=_run_cell,
+    cells=[
+        Cell(key=(level[0], name),
+             params={"level": level, "service": service}, seed=SEED)
+        for level in LOSS_LEVELS
+        for name, service in PROTOCOLS
+    ],
+    master_seed=SEED,
+)
 
 
-def bench_fig4_nm_strikes_deadline_delivery(benchmark):
-    table = run_experiment(benchmark, run_nm_strikes)
+def run_nm_strikes(workers=None, replicates=1, cache=True):
+    return run_sweep(SWEEP, workers=workers, replicates=replicates, cache=cache)
+
+
+def show_nm_strikes(result) -> None:
     rows = []
-    for (level, proto), cell in table.items():
+    for (level, proto), cell in result.as_table().items():
         rows.append((level, proto, cell["on_time"], cell["overhead"]))
     print_table(
         f"Fig 4 / E4: fraction delivered within {DEADLINE * 1000:.0f} ms "
@@ -116,7 +127,13 @@ def bench_fig4_nm_strikes_deadline_delivery(benchmark):
         ["burst level", "protocol", "within 200 ms", "send overhead"],
         rows,
     )
-    floors = {"mild": 0.999, "moderate": 0.99, "severe": 0.97}
+
+
+def bench_fig4_nm_strikes_deadline_delivery(benchmark):
+    result = run_experiment(benchmark, run_nm_strikes)
+    show_nm_strikes(result)
+    table = result.as_table()
+    floors = {"mild": 0.999, "moderate": 0.99, "severe": 0.95}
     for level, __, __, __ in [(l[0], None, None, None) for l in LOSS_LEVELS]:
         be = table[(level, "best-effort")]["on_time"]
         ss = table[(level, "single-strike 1x1")]["on_time"]
@@ -134,3 +151,7 @@ def bench_fig4_nm_strikes_deadline_delivery(benchmark):
         be_loss = 1.0 - table[(level, "best-effort")]["on_time"]
         nm_overhead = table[(level, "nm-strikes 3x2")]["overhead"]
         assert nm_overhead <= 1.0 + (M + 1) * be_loss + 0.02, (level, nm_overhead)
+
+
+if __name__ == "__main__":
+    sweep_main(__doc__, run_nm_strikes, show_nm_strikes)

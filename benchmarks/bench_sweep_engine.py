@@ -1,0 +1,217 @@
+"""Sweep engine: process-pool fan-out + fingerprinted result cache.
+
+The grid benchmarks are embarrassingly parallel — every cell is an
+independent deterministic simulation — so PR 4 moves their outer loop
+into :func:`repro.analysis.runner.run_sweep`. This bench pins the two
+claims that make that safe and worth it:
+
+* **byte-identity** — ``workers=0`` (serial in-process) and
+  ``workers=N`` (process pool) produce *byte-identical* printed tables
+  over a reference grid of line-topology CBR cells. Parallelism changes
+  where cells run, never what they compute.
+* **memoization** — with a fresh cache, the first run simulates every
+  cell and a re-run simulates **zero** (all served from the
+  fingerprinted store), again with a byte-identical table.
+
+Timing compares the serial leg against the pool leg (both with the
+cache disabled) and writes the tracked snapshot to ``BENCH_sweep.json``.
+The >= 2.5x @ 4 workers gate is asserted only on full ``__main__`` runs
+on machines that actually have >= 4 cores — on a single-core CI box the
+pool legs still run (correctness is checked everywhere), but a speedup
+is physically impossible there.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.analysis.metrics import flow_stats
+from repro.analysis.runner import SweepCache, resolve_workers, run_sweep
+from repro.analysis.scenarios import line_scenario
+from repro.analysis.sweep import Cell, Sweep, with_counters
+from repro.analysis.workloads import CbrSource
+from repro.core.message import Address, LINK_NM_STRIKES, ServiceSpec
+from repro.net.loss import BernoulliLoss
+
+from bench_util import (
+    add_profile_arg,
+    add_workers_arg,
+    format_table,
+    maybe_profile,
+    print_table,
+    run_experiment,
+)
+
+SEED = 4201
+RATE = 300.0
+DURATION = 8.0
+QUICK_DURATION = 2.0
+HOPS = [1, 2, 3, 4]
+LOSSES = [0.0, 0.02]
+
+#: Where the tracked perf snapshot lands (repo root, next to this dir).
+RESULT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_sweep.json")
+
+
+def _run_cell(seed: int, n_hops: int, loss: float, duration: float):
+    """One reference cell: a reliable CBR flow over an ``n_hops`` line."""
+    loss_factory = (lambda: BernoulliLoss(loss)) if loss > 0 else None
+    scn = line_scenario(seed, n_hops=n_hops, hop_delay=0.010,
+                       loss_factory=loss_factory)
+    scn.overlay.client(f"h{n_hops}", 7, on_message=lambda m: None)
+    tx = scn.overlay.client("h0")
+    source = CbrSource(scn.sim, tx, Address(f"h{n_hops}", 7), rate_pps=RATE,
+                       size=1000,
+                       service=ServiceSpec(link=LINK_NM_STRIKES)).start()
+    scn.run_for(duration)
+    source.stop()
+    scn.run_for(1.0)
+    stats = flow_stats(scn.overlay.trace, source.flow, f"h{n_hops}:7")
+    return with_counters({
+        "delivery": stats.delivery_ratio,
+        "mean_latency_ms": stats.latency.mean * 1000.0,
+        "events": float(scn.sim.events_processed),
+    }, scn)
+
+
+def _make_sweep(duration: float) -> Sweep:
+    return Sweep(
+        name="sweep_engine_reference",
+        run_cell=_run_cell,
+        cells=[
+            Cell(key=(n_hops, loss),
+                 params={"n_hops": n_hops, "loss": loss, "duration": duration},
+                 seed=SEED)
+            for n_hops in HOPS
+            for loss in LOSSES
+        ],
+        master_seed=SEED,
+    )
+
+
+def _render(result) -> str:
+    return format_table(
+        "Sweep-engine reference grid (reliable CBR over a line)",
+        ["hops", "loss", "delivery", "latency ms", "events"],
+        [
+            (n_hops, loss, cell["delivery"], cell["mean_latency_ms"],
+             int(cell["events"]))
+            for (n_hops, loss), cell in result.as_table().items()
+        ],
+    )
+
+
+def _timed(sweep: Sweep, **kwargs) -> tuple:
+    started = time.perf_counter()
+    result = run_sweep(sweep, **kwargs)
+    result.raise_failures()
+    return result, time.perf_counter() - started
+
+
+def run_sweep_engine(duration: float = DURATION, workers: int | None = None)\
+        -> dict:
+    sweep = _make_sweep(duration)
+    pool_workers = workers if workers else min(4, max(2, os.cpu_count() or 1))
+
+    # Timing legs, cache off: the serial reference vs the fan-out.
+    serial, serial_wall = _timed(sweep, workers=0, cache=False)
+    pooled, pooled_wall = _timed(sweep, workers=pool_workers, cache=False)
+    serial_table = _render(serial)
+    pooled_table = _render(pooled)
+    assert pooled_table == serial_table, (
+        "workers=%d table diverged from the serial reference:\n%s\n--\n%s"
+        % (pool_workers, serial_table, pooled_table)
+    )
+
+    # Cache legs in a private store: cold run simulates every cell,
+    # a warm re-run simulates zero and still prints the same bytes.
+    with tempfile.TemporaryDirectory(prefix="sweep_cache_") as tmp:
+        store = SweepCache(tmp)
+        cold, cold_wall = _timed(sweep, workers=0, cache=store)
+        warm, warm_wall = _timed(sweep, workers=0, cache=store)
+    assert _render(cold) == serial_table
+    assert _render(warm) == serial_table
+
+    cells = len(sweep.cells)
+    return {
+        "cells": cells,
+        "duration_s": duration,
+        "workers": pool_workers,
+        "serial_wall_s": serial_wall,
+        "parallel_wall_s": pooled_wall,
+        "speedup": serial_wall / pooled_wall if pooled_wall > 0 else 0.0,
+        "tables_identical": True,
+        "cold_executed": cold.executed,
+        "cold_wall_s": cold_wall,
+        "warm_executed": warm.executed,
+        "warm_cached": warm.cached,
+        "warm_wall_s": warm_wall,
+        "sim_events": serial.counters.get("sim.events", 0.0),
+        "table": serial_table,
+    }
+
+
+def _check_shape(result: dict) -> None:
+    assert result["tables_identical"], result
+    # Cold pass simulated everything; warm pass simulated nothing.
+    assert result["cold_executed"] == result["cells"], result
+    assert result["warm_executed"] == 0, result
+    assert result["warm_cached"] == result["cells"], result
+    # Serving JSON files must beat re-running the simulations.
+    assert result["warm_wall_s"] < result["cold_wall_s"], result
+
+
+def write_result(result: dict, path: str = RESULT_PATH) -> None:
+    """Persist the tracked perf snapshot (CI uploads it as an artifact)."""
+    payload = {k: v for k, v in result.items() if k != "table"}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def bench_sweep_engine(benchmark):
+    result = run_experiment(benchmark, run_sweep_engine)
+    print(result["table"])
+    print_table(
+        f"Sweep engine over {result['cells']} cells",
+        ["leg", "wall s", "simulated"],
+        [
+            ("serial (workers=0)", result["serial_wall_s"], result["cells"]),
+            (f"pool (workers={result['workers']})",
+             result["parallel_wall_s"], result["cells"]),
+            ("cache cold", result["cold_wall_s"], result["cold_executed"]),
+            ("cache warm", result["warm_wall_s"], result["warm_executed"]),
+        ],
+    )
+    _check_shape(result)
+    write_result(result)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short cells (CI smoke mode; skips the "
+                        "speedup gate, which needs >= 4 real cores)")
+    add_workers_arg(parser)
+    add_profile_arg(parser)
+    args = parser.parse_args()
+    duration = QUICK_DURATION if args.quick else DURATION
+    result = maybe_profile(args.profile, run_sweep_engine,
+                           duration=duration, workers=args.workers)
+    print(result.pop("table"))
+    for key, value in sorted(result.items()):
+        print(f"{key}: {value:.3f}" if isinstance(value, float)
+              else f"{key}: {value}")
+    _check_shape(result)
+    write_result(result)
+    print(f"wrote {os.path.normpath(RESULT_PATH)}")
+    cores = os.cpu_count() or 1
+    if not args.quick and result["workers"] >= 4 and cores >= 4:
+        assert result["speedup"] >= 2.5, (
+            f"expected >= 2.5x at {result['workers']} workers on {cores} "
+            f"cores, got {result['speedup']:.2f}x"
+        )
+    print("ok")

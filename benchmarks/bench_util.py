@@ -6,17 +6,42 @@ timing it reports is the wall-clock cost of the whole experiment), (b)
 prints the table/series the paper's claim is phrased in, and (c)
 asserts the *shape* of the result — who wins, by roughly what factor —
 as a regression check. Absolute numbers live in EXPERIMENTS.md.
+
+Grid-shaped experiments declare their cells as a
+:class:`repro.analysis.sweep.Sweep` and run through
+:func:`repro.analysis.runner.run_sweep`: cells fan out over a process
+pool (``--workers`` / ``REPRO_BENCH_WORKERS``; 0 = serial in-process)
+and completed cells are served from the fingerprinted ``.sweep_cache/``
+unless the source tree changed.
 """
 
 from __future__ import annotations
 
+import argparse
 from typing import Any, Callable
+
+#: Counter families uniformly surfaced into ``benchmark.extra_info``
+#: when an experiment hands back a Scenario/overlay handle or a
+#: SweepResult — observability parity across every bench, instead of
+#: each bench hand-picking keys.
+COUNTER_PREFIXES = ("route.", "fwd.", "timer.", "sim.", "sweep.")
 
 
 def run_experiment(benchmark, fn: Callable[[], Any]):
     """Run ``fn`` exactly once under the benchmark fixture and return its
     result. Experiments are full simulations — repeating them for timing
-    statistics would add minutes for no insight."""
+    statistics would add minutes for no insight.
+
+    The result may be:
+
+    * a plain dict — its scalar entries land in ``extra_info``;
+    * a :class:`~repro.analysis.sweep.SweepResult` — the engine's
+      aggregated ``route.*`` / ``fwd.*`` / ``timer.*`` / ``sim.*``
+      counters and ``sweep.*`` stats land in ``extra_info``;
+    * a Scenario / OverlayNetwork / Simulator handle, or a
+      ``(value, handle)`` tuple — the handle's counters land in
+      ``extra_info`` and (for tuples) only ``value`` is returned.
+    """
     result_box = {}
 
     def once():
@@ -24,6 +49,11 @@ def run_experiment(benchmark, fn: Callable[[], Any]):
 
     benchmark.pedantic(once, rounds=1, iterations=1)
     result = result_box["result"]
+    if isinstance(result, tuple) and len(result) == 2:
+        value, handle = result
+        _record_counters(benchmark, handle)
+        return value
+    _record_counters(benchmark, result)
     if isinstance(result, dict):
         benchmark.extra_info.update(
             {k: v for k, v in result.items() if isinstance(v, (int, float, str))}
@@ -31,16 +61,68 @@ def run_experiment(benchmark, fn: Callable[[], Any]):
     return result
 
 
+def _record_counters(benchmark, handle) -> None:
+    counters: dict[str, float] = {}
+    if hasattr(handle, "as_table") and hasattr(handle, "stats"):  # SweepResult
+        counters.update(handle.counters)
+        counters.update(handle.stats())
+    elif hasattr(handle, "counters") or hasattr(handle, "sim") or (
+        hasattr(handle, "events_processed") and hasattr(handle, "timer_stats")
+    ):
+        from repro.analysis.sweep import counters_of
+
+        counters.update(counters_of(handle))
+    if not counters:
+        return
+    benchmark.extra_info.update({
+        name: value
+        for name, value in sorted(counters.items())
+        if name.startswith(COUNTER_PREFIXES) and isinstance(value, (int, float))
+    })
+
+
+# -------------------------------------------------------------------- tables
+
+def format_table(title: str, headers: list[str], rows: list[tuple]) -> str:
+    """Render an aligned results table. Numeric columns (ints, floats,
+    mean ± spread replicate cells) right-align; text columns left-align.
+    Width computation always goes through :func:`_fmt`, so mixed
+    str/float rows and replicate cells can never skew a column."""
+    columns = len(headers)
+    widths, numeric = [], []
+    for i, header in enumerate(headers):
+        cells = [row[i] for row in rows if i < len(row)]
+        widths.append(max(
+            len(str(header)), max((len(_fmt(c)) for c in cells), default=0)
+        ))
+        numeric.append(bool(cells) and all(_is_numeric_cell(c) for c in cells))
+    lines = [f"\n== {title} =="]
+
+    def render(cells) -> str:
+        parts = []
+        for i in range(columns):
+            text = _fmt(cells[i]) if i < len(cells) else ""
+            parts.append(
+                text.rjust(widths[i]) if numeric[i] else text.ljust(widths[i])
+            )
+        return "  ".join(parts).rstrip()
+
+    lines.append(render(headers))
+    for row in rows:
+        lines.append(render(row))
+    return "\n".join(lines)
+
+
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
     """Print an aligned results table (visible with ``pytest -s``)."""
-    widths = [
-        max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
-        for i, h in enumerate(headers)
-    ]
-    print(f"\n== {title} ==")
-    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
-    for row in rows:
-        print("  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+    print(format_table(title, headers, rows))
+
+
+def _is_numeric_cell(cell) -> bool:
+    if isinstance(cell, (int, float)):  # bools count as ints on purpose
+        return True
+    # ReplicateStat (mean ± spread) without importing repro eagerly.
+    return hasattr(cell, "mean") and hasattr(cell, "spread")
 
 
 def _fmt(cell) -> str:
@@ -55,6 +137,68 @@ def ms(seconds: float | None) -> float:
         return float("nan")
     return seconds * 1000.0
 
+
+# ---------------------------------------------------------------- arguments
+
+def add_workers_arg(parser) -> None:
+    """Install the shared ``--workers N`` option (0 = serial in-process;
+    default from ``REPRO_BENCH_WORKERS`` or a cpu-count heuristic)."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool width for sweep cells; 0 forces the serial "
+        "in-process path (debugging). Default: $REPRO_BENCH_WORKERS, "
+        "else an os.cpu_count()-based value",
+    )
+
+
+def add_sweep_args(parser) -> None:
+    """Install the shared sweep options: ``--workers``,
+    ``--replicates N``, and ``--fresh`` (ignore the result cache)."""
+    add_workers_arg(parser)
+    parser.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        metavar="N",
+        help="seeds per cell; N > 1 prints mean ± spread cells "
+        "(replicate 0 is the canonical pinned seed)",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore .sweep_cache/ and re-simulate every cell",
+    )
+
+
+def sweep_main(doc: str | None, run: Callable[..., Any],
+               show: Callable[[Any], None]) -> Any:
+    """Standard ``__main__`` for a sweep-backed bench: parse the shared
+    flags, run the sweep (optionally under ``--profile``), print the
+    table via ``show``, and report the engine's cache/fan-out stats."""
+    parser = argparse.ArgumentParser(description=doc)
+    add_sweep_args(parser)
+    add_profile_arg(parser)
+    args = parser.parse_args()
+    result = maybe_profile(
+        args.profile, run,
+        workers=args.workers, replicates=args.replicates, cache=not args.fresh,
+    )
+    show(result)
+    stats = result.stats()
+    print(
+        f"\nsweep: {int(stats['sweep.cells'])} cells x "
+        f"{int(stats['sweep.replicates'])} replicate(s), "
+        f"{int(stats['sweep.executed'])} simulated, "
+        f"{int(stats['sweep.cached'])} from cache, "
+        f"workers={int(stats['sweep.workers'])}"
+    )
+    return result
+
+
+# ---------------------------------------------------------------- profiling
 
 def add_profile_arg(parser) -> None:
     """Install the shared ``--profile PATH`` option on a bench's

@@ -3,18 +3,44 @@
 from repro.analysis.metrics import (
     FlowStats,
     LatencySummary,
+    ReplicateStat,
     availability_gaps,
     flow_stats,
     latency_summary,
+    replicate_stats,
+)
+from repro.analysis.runner import SweepCache, resolve_workers, run_sweep
+from repro.analysis.sweep import (
+    Cell,
+    Sweep,
+    SweepError,
+    SweepResult,
+    cell_seed,
+    counters_of,
+    grid,
+    with_counters,
 )
 from repro.analysis.workloads import CbrSource, PoissonSource
 
 __all__ = [
     "LatencySummary",
     "FlowStats",
+    "ReplicateStat",
     "latency_summary",
     "flow_stats",
     "availability_gaps",
+    "replicate_stats",
+    "Cell",
+    "Sweep",
+    "SweepError",
+    "SweepResult",
+    "SweepCache",
+    "cell_seed",
+    "counters_of",
+    "grid",
+    "with_counters",
+    "resolve_workers",
+    "run_sweep",
     "CbrSource",
     "PoissonSource",
 ]

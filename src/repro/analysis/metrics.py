@@ -135,6 +135,38 @@ def availability_gaps(
     return gaps
 
 
+@dataclass(frozen=True)
+class ReplicateStat:
+    """Mean ± spread of one metric across replicate runs.
+
+    ``spread`` is the sample standard deviation (0 for a single
+    sample). Sweep tables render these as ``mean ±spread`` cells; the
+    numeric fields stay accessible for assertions.
+    """
+
+    mean: float
+    spread: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ±{self.spread:.3f}"
+
+    def __float__(self) -> float:
+        return self.mean
+
+
+def replicate_stats(values: list[float]) -> ReplicateStat:
+    """Aggregate replicate samples of one metric into mean ± spread."""
+    if not values:
+        raise ValueError("no replicate values")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return ReplicateStat(mean=mean, spread=0.0, n=1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return ReplicateStat(mean=mean, spread=math.sqrt(variance), n=n)
+
+
 def delivered_seqs(trace: TraceCollector, flow: str, destination: str) -> set[int]:
     """Sequence numbers of messages delivered at a destination."""
     return {

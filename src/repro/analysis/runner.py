@@ -1,0 +1,327 @@
+"""Sweep execution: process-pool fan-out + fingerprinted result cache.
+
+The grid benchmarks are embarrassingly parallel — every
+:class:`~repro.analysis.sweep.Cell` is an independent deterministic
+simulation — so after PRs 1-3 removed the in-sim hot paths, the
+remaining wall-clock cost of ``pytest benchmarks/`` is *cells run one
+after another on one core*. :func:`run_sweep` removes it twice over:
+
+* **fan-out** — cells run on a ``ProcessPoolExecutor``
+  (``workers=N``); ``workers=0`` runs them serially in-process. Both
+  paths execute the identical ``run_cell(seed, **params)`` pure
+  function and collect results in declared cell order, so the printed
+  tables are **byte-identical** — the correctness contract pinned by
+  ``tests/test_sweep_engine.py``;
+* **memoization** — each (cell spec, seed, replicate) result persists
+  under ``.sweep_cache/``, keyed by a blake2b fingerprint of the
+  ``repro`` source tree plus the module defining ``run_cell``. An
+  unchanged benchmark re-run loads every cell from cache (0
+  simulations); editing any source file moves the fingerprint and
+  re-simulates everything — stale results can never be served.
+
+Cached payloads go through a JSON round-trip, which is exact for the
+str/int/float metric dicts cells return (Python floats serialize via
+shortest-round-trip repr), so a cache hit is also byte-identical to a
+fresh run. Cells whose values do not survive JSON are simply never
+cached.
+
+Worker failures surface as *failed cells*, never hung runs: an
+exception inside ``run_cell`` is caught in the worker and carried back
+as a traceback string, and a hard worker death (``os._exit``, signal)
+turns into ``BrokenProcessPool`` on the affected futures, which the
+collector converts into per-cell errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.analysis.sweep import (
+    Cell,
+    CellOutput,
+    CellResult,
+    Sweep,
+    SweepResult,
+    key_label,
+)
+
+#: Default cache directory (relative to the working directory; override
+#: with the ``REPRO_SWEEP_CACHE`` environment variable).
+DEFAULT_CACHE_DIR = ".sweep_cache"
+
+#: Environment variable consulted when ``workers`` is not given.
+WORKERS_ENV = "REPRO_BENCH_WORKERS"
+
+#: Upper bound on the default worker count — sweeps are memory-bound
+#: long before they are 32-wide, and the pool should never starve the
+#: machine it shares.
+MAX_DEFAULT_WORKERS = 8
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """The worker count to use: explicit value, else ``REPRO_BENCH_WORKERS``,
+    else an ``os.cpu_count()``-based default (0 — serial in-process — on
+    a single-core machine, where a pool only adds overhead)."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env is not None and env.strip() != "":
+            workers = int(env)
+        else:
+            cpus = os.cpu_count() or 1
+            workers = 0 if cpus <= 1 else min(cpus, MAX_DEFAULT_WORKERS)
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+# --------------------------------------------------------------- fingerprint
+
+_FINGERPRINT_CACHE: dict[tuple, str] = {}
+
+
+def source_fingerprint(extra_paths: tuple = ()) -> str:
+    """blake2b over the ``repro`` source tree (+ any extra files).
+
+    The digest covers every ``*.py`` under the installed ``repro``
+    package, as (relative path, content) pairs in sorted order, so any
+    edit anywhere in the simulator/protocol/analysis stack invalidates
+    every cached cell. ``extra_paths`` lets the runner fold in the
+    benchmark module that defines ``run_cell``.
+    """
+    key = tuple(str(p) for p in extra_paths)
+    cached = _FINGERPRINT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    import repro
+
+    digest = hashlib.blake2b(digest_size=16)
+    root = Path(repro.__file__).resolve().parent
+    files = sorted(root.rglob("*.py"))
+    for path in files:
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    for extra in sorted(key):
+        path = Path(extra)
+        if path.is_file():
+            digest.update(path.name.encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    fingerprint = digest.hexdigest()
+    _FINGERPRINT_CACHE[key] = fingerprint
+    return fingerprint
+
+
+# --------------------------------------------------------------------- cache
+
+class SweepCache:
+    """Content-fingerprinted result store under ``root``.
+
+    One JSON file per (sweep, cell spec, seed, replicate, source
+    fingerprint). The fingerprint is part of the digest, so a source
+    edit makes every old entry unreachable (stale files linger only as
+    dead bytes — clear them with ``rm -rf .sweep_cache``).
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_SWEEP_CACHE", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+
+    def digest(self, sweep: Sweep, cell: Cell, seed: int, replicate: int,
+               fingerprint: str) -> str:
+        spec = repr((
+            sweep.name,
+            key_label(cell.key),
+            sorted((name, repr(value)) for name, value in cell.params.items()),
+            seed,
+            replicate,
+        ))
+        blake = hashlib.blake2b(digest_size=16)
+        blake.update(spec.encode())
+        blake.update(fingerprint.encode())
+        return blake.hexdigest()
+
+    def _path(self, sweep: Sweep, digest: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in sweep.name)
+        return self.root / safe / f"{digest}.json"
+
+    def load(self, sweep: Sweep, digest: str) -> dict | None:
+        path = self._path(sweep, digest)
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or "value" not in payload:
+            return None
+        return payload
+
+    def store(self, sweep: Sweep, digest: str, value: Any,
+              counters: Mapping[str, float]) -> bool:
+        payload = {"value": value, "counters": dict(counters)}
+        try:
+            text = json.dumps(payload, sort_keys=True)
+        except (TypeError, ValueError):
+            return False  # non-JSON cell values are simply never cached
+        path = self._path(sweep, digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(text + "\n")
+        os.replace(tmp, path)  # atomic: concurrent runs never see torn files
+        return True
+
+
+def _as_cache(cache: Any) -> SweepCache | None:
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return SweepCache()
+    if isinstance(cache, SweepCache):
+        return cache
+    return SweepCache(cache)
+
+
+# ----------------------------------------------------------------- execution
+
+def _execute_job(run_cell, seed: int, params: dict) -> tuple:
+    """Run one cell (in a worker or in-process) and return a small
+    picklable ``(value, counters, error, wall_s)`` record."""
+    started = time.perf_counter()
+    try:
+        output = run_cell(seed, **params)
+    except Exception:
+        return None, {}, traceback.format_exc(limit=8), time.perf_counter() - started
+    wall = time.perf_counter() - started
+    if isinstance(output, CellOutput):
+        return output.value, output.counters, None, wall
+    return output, {}, None, wall
+
+
+def _init_worker(paths: list[str]) -> None:
+    """Spawn-mode initializer: make the parent's import roots (src/,
+    benchmarks/) visible so ``run_cell`` unpickles by reference."""
+    for path in paths:
+        if path not in sys.path:
+            sys.path.append(path)
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits imported bench modules); fall back
+    to spawn with a sys.path initializer elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork"), False
+    return multiprocessing.get_context("spawn"), True
+
+
+def run_sweep(
+    sweep: Sweep,
+    workers: int | None = None,
+    replicates: int = 1,
+    cache: Any = True,
+    fingerprint: str | None = None,
+) -> SweepResult:
+    """Execute every (cell, replicate) of ``sweep`` and collect results
+    in declared order.
+
+    Args:
+        workers: ``0`` = serial in-process (the debugging path and the
+            byte-identity reference); ``N >= 1`` = process pool of N.
+            ``None`` resolves via :func:`resolve_workers`.
+        replicates: Seeds per cell. Replicate 0 is the cell's canonical
+            seed (tables with ``replicates=1`` are byte-identical to
+            the pre-engine benchmarks); replicates 1..N-1 derive fresh
+            seeds per :meth:`Sweep.seed_for`.
+        cache: ``True`` = default :class:`SweepCache`; a path or
+            :class:`SweepCache` to use that store; ``False``/``None``
+            disables caching (benchmark timing legs use this).
+        fingerprint: Override the source-tree fingerprint (tests use
+            this to exercise invalidation).
+    """
+    if replicates < 1:
+        raise ValueError(f"replicates must be >= 1, got {replicates}")
+    workers = resolve_workers(workers)
+    store = _as_cache(cache)
+    if fingerprint is None and store is not None:
+        extra: tuple = ()
+        src = inspect.getsourcefile(sweep.run_cell)
+        if src:
+            extra = (src,)
+        fingerprint = source_fingerprint(extra)
+
+    jobs: list[tuple[int, Cell, int, int]] = []  # (slot, cell, replicate, seed)
+    for cell in sweep.cells:
+        for replicate in range(replicates):
+            jobs.append((len(jobs), cell, replicate, sweep.seed_for(cell, replicate)))
+
+    results: list[CellResult | None] = [None] * len(jobs)
+    pending: list[tuple[int, Cell, int, int, str | None]] = []
+    for slot, cell, replicate, seed in jobs:
+        digest = None
+        if store is not None:
+            digest = store.digest(sweep, cell, seed, replicate, fingerprint)
+            payload = store.load(sweep, digest)
+            if payload is not None:
+                results[slot] = CellResult(
+                    key=cell.key, replicate=replicate, seed=seed,
+                    value=payload["value"],
+                    counters=dict(payload.get("counters", {})),
+                    cached=True,
+                )
+                continue
+        pending.append((slot, cell, replicate, seed, digest))
+
+    if pending and workers == 0:
+        for slot, cell, replicate, seed, digest in pending:
+            value, counters, error, wall = _execute_job(
+                sweep.run_cell, seed, dict(cell.params)
+            )
+            results[slot] = CellResult(
+                key=cell.key, replicate=replicate, seed=seed, value=value,
+                counters=counters, error=error, wall_s=wall,
+            )
+            if error is None and store is not None:
+                store.store(sweep, digest, value, counters)
+    elif pending:
+        context, needs_paths = _pool_context()
+        init, initargs = (None, ())
+        if needs_paths:
+            init, initargs = _init_worker, (list(sys.path),)
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)), mp_context=context,
+            initializer=init, initargs=initargs,
+        ) as pool:
+            futures = {
+                slot: pool.submit(_execute_job, sweep.run_cell, seed,
+                                  dict(cell.params))
+                for slot, cell, replicate, seed, __ in pending
+            }
+            for slot, cell, replicate, seed, digest in pending:
+                try:
+                    value, counters, error, wall = futures[slot].result()
+                except Exception as exc:  # BrokenProcessPool, pickling, ...
+                    value, counters, wall = None, {}, 0.0
+                    error = f"{type(exc).__name__}: {exc}"
+                results[slot] = CellResult(
+                    key=cell.key, replicate=replicate, seed=seed, value=value,
+                    counters=counters, error=error, wall_s=wall,
+                )
+                if error is None and store is not None:
+                    store.store(sweep, digest, value, counters)
+
+    return SweepResult(sweep, [r for r in results if r is not None],
+                       replicates=replicates, workers=workers)

@@ -1,0 +1,357 @@
+"""Declarative experiment sweeps (the cell model).
+
+Every quantified claim in EXPERIMENTS.md is reproduced as a *grid* of
+independent deterministic simulations: E4 sweeps burst severity x
+protocol, E6 sweeps attack rate x scheduler, E11 sweeps replicas x
+device load, and so on. This module gives that shape a first-class
+representation:
+
+* a :class:`Cell` is one point of the grid — a table key, the keyword
+  parameters of the experiment at that point, and (optionally) a pinned
+  master seed;
+* a :class:`Sweep` is the whole grid plus the top-level
+  ``run_cell(seed, **params)`` callable that simulates one cell and
+  returns a flat ``{metric: value}`` dict (optionally wrapped by
+  :func:`with_counters` to carry the cell's simulator/overlay counters
+  out of a worker process).
+
+Execution lives in :mod:`repro.analysis.runner`, which fans the cells
+out over a process pool and caches results under a source-tree
+fingerprint. Keeping the declaration separate from the execution is
+what lets ``workers=0`` (serial, in-process) and ``workers=N``
+(process pool) produce byte-identical tables: the cell is a pure
+function of ``(seed, params)`` either way.
+
+Seed discipline
+---------------
+
+Per-cell seeds follow the :class:`~repro.sim.rng.RngRegistry`
+derivation style — hash ``"{master}:{label}"``, take the first 8 bytes
+big-endian — but with blake2b, so the sweep layer's stream can never
+collide with the registry's sha256-derived streams:
+
+* a cell with a pinned ``seed`` uses it verbatim for replicate 0 (this
+  is how the pre-engine benchmark tables stay byte-identical);
+* an unpinned cell derives replicate 0 from the sweep's master seed
+  and the cell key;
+* replicate ``r > 0`` derives from the cell's base seed, the key, and
+  ``r`` — so ``--replicates N`` adds N-1 fresh, stable universes per
+  cell without moving the canonical one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+
+def key_label(key: Any) -> str:
+    """Canonical text form of a cell key (tuple keys join with ``|``)."""
+    if isinstance(key, tuple):
+        return "|".join(str(part) for part in key)
+    return str(key)
+
+
+def cell_seed(master_seed: int, key: Any, replicate: int = 0) -> int:
+    """Derive a stable per-cell seed from a master seed and the cell key.
+
+    Mirrors :func:`repro.sim.rng.derive_seed`'s ``"{master}:{name}"``
+    discipline, using blake2b so sweep-level and registry-level streams
+    are provably distinct hash families.
+    """
+    label = key_label(key)
+    text = f"{master_seed}:{label}" if replicate == 0 else (
+        f"{master_seed}:{label}#r{replicate}"
+    )
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of an experiment grid.
+
+    Attributes:
+        key: The table key the benchmark prints/asserts under (a string
+            or tuple — e.g. ``("severe", "nm-strikes 3x2")``).
+        params: Keyword arguments for the sweep's ``run_cell``. Must be
+            picklable (plain data + frozen dataclasses like
+            :class:`~repro.core.message.ServiceSpec`).
+        seed: Optional pinned master seed for replicate 0. ``None``
+            derives it from the sweep's master seed and ``key``.
+    """
+
+    key: Any
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A declared experiment grid.
+
+    Attributes:
+        name: Stable identifier (namespaces the result cache).
+        run_cell: Top-level callable ``run_cell(seed, **params)``
+            returning a flat dict of metrics, or a :class:`CellOutput`
+            (see :func:`with_counters`). Must be importable from a
+            worker process — define it at module scope.
+        cells: The grid, in table order.
+        master_seed: Seed that unpinned cells derive from.
+    """
+
+    name: str
+    run_cell: Callable[..., Any]
+    cells: Sequence[Cell]
+    master_seed: int = 0
+
+    def seed_for(self, cell: Cell, replicate: int = 0) -> int:
+        """The seed ``run_cell`` receives for (cell, replicate)."""
+        if cell.seed is not None:
+            if replicate == 0:
+                return cell.seed
+            return cell_seed(cell.seed, cell.key, replicate)
+        return cell_seed(self.master_seed, cell.key, replicate)
+
+
+class CellOutput:
+    """A cell's metrics plus the counters its simulation accumulated.
+
+    Workers run in their own process; the scenario object dies with
+    them. ``CellOutput`` is the small picklable record that crosses
+    back: the metric dict the table is built from, and the
+    ``sim.*`` / ``timer.*`` / ``route.*`` / ``fwd.*`` counter snapshot
+    the engine aggregates across cells.
+    """
+
+    __slots__ = ("value", "counters")
+
+    def __init__(self, value: Any, counters: Mapping[str, float] | None = None):
+        self.value = value
+        self.counters = dict(counters or {})
+
+
+def with_counters(value: Any, *handles: Any) -> CellOutput:
+    """Wrap a cell's metric dict with the counters of its simulation.
+
+    ``handles`` may be any mix of :class:`~repro.analysis.scenarios.Scenario`,
+    :class:`~repro.core.network.OverlayNetwork`,
+    :class:`~repro.core.cluster.OverlayCluster`,
+    :class:`~repro.net.internet.Internet`, or
+    :class:`~repro.sim.events.Simulator` — see :func:`counters_of`.
+    """
+    return CellOutput(value, counters_of(*handles))
+
+
+def counters_of(*handles: Any) -> dict[str, float]:
+    """Harvest every counter reachable from the given handles.
+
+    Walks ``overlay`` / ``internet`` / ``members`` attributes (so a
+    Scenario yields its overlay's ``route.*`` / ``fwd.*`` counters and
+    the Internet's datagram counters, and a cluster yields every
+    member's), sums any :class:`~repro.sim.trace.Counter` it finds, and
+    adds each distinct simulator's ``sim.events`` / ``timer.*`` totals
+    exactly once.
+    """
+    totals: dict[str, float] = {}
+    sims: dict[int, Any] = {}
+    seen: set[int] = set()
+
+    def visit(handle: Any) -> None:
+        if handle is None or id(handle) in seen:
+            return
+        seen.add(id(handle))
+        if hasattr(handle, "events_processed") and hasattr(handle, "timer_stats"):
+            sims[id(handle)] = handle
+            return
+        counter = getattr(handle, "counters", None)
+        if counter is not None and hasattr(counter, "as_dict"):
+            for name, value in counter.as_dict().items():
+                totals[name] = totals.get(name, 0.0) + value
+        for child_attr in ("members", ):
+            children = getattr(handle, child_attr, None)
+            if isinstance(children, (list, tuple)):
+                for child in children:
+                    visit(child)
+        for child_attr in ("overlay", "internet"):
+            visit(getattr(handle, child_attr, None))
+        sim = getattr(handle, "sim", None)
+        if sim is not None and hasattr(sim, "events_processed"):
+            sims[id(sim)] = sim
+
+    for handle in handles:
+        visit(handle)
+    for sim in sims.values():
+        totals["sim.events"] = totals.get("sim.events", 0.0) + sim.events_processed
+        for name, value in sim.timer_stats().items():
+            totals[name] = totals.get(name, 0.0) + value
+    return totals
+
+
+@dataclass
+class CellResult:
+    """Outcome of one (cell, replicate) execution."""
+
+    key: Any
+    replicate: int
+    seed: int
+    value: Any = None
+    counters: dict[str, float] = field(default_factory=dict)
+    error: str | None = None
+    cached: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SweepError(RuntimeError):
+    """One or more cells of a sweep failed (crash or exception)."""
+
+
+class SweepResult:
+    """Ordered results of a sweep run, with aggregation helpers.
+
+    Iteration order is the declared cell order (replicates of a cell
+    are adjacent), regardless of worker completion order — the
+    serial-equivalence contract covers the *table*, so collection must
+    be deterministic too.
+    """
+
+    def __init__(self, sweep: Sweep, results: list[CellResult],
+                 replicates: int, workers: int) -> None:
+        self.sweep = sweep
+        self.results = results
+        self.replicates = replicates
+        self.workers = workers
+
+    # ------------------------------------------------------------ status
+
+    @property
+    def failed(self) -> list[CellResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def executed(self) -> int:
+        """Cells actually simulated this run (not served from cache)."""
+        return sum(1 for r in self.results if r.ok and not r.cached)
+
+    @property
+    def cached(self) -> int:
+        """Cells served from the result cache."""
+        return sum(1 for r in self.results if r.ok and r.cached)
+
+    @property
+    def wall_s(self) -> float:
+        """Summed per-cell simulation time (serial-equivalent cost)."""
+        return sum(r.wall_s for r in self.results)
+
+    def stats(self) -> dict[str, float]:
+        """Engine bookkeeping, keyed ``sweep.*`` (for ``extra_info``)."""
+        return {
+            "sweep.cells": float(len(self.sweep.cells)),
+            "sweep.replicates": float(self.replicates),
+            "sweep.executed": float(self.executed),
+            "sweep.cached": float(self.cached),
+            "sweep.failed": float(len(self.failed)),
+            "sweep.workers": float(self.workers),
+        }
+
+    @property
+    def counters(self) -> dict[str, float]:
+        """Counters summed across every successful cell."""
+        totals: dict[str, float] = {}
+        for result in self.results:
+            if not result.ok:
+                continue
+            for name, value in result.counters.items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def raise_failures(self) -> None:
+        failures = self.failed
+        if failures:
+            lines = [
+                f"  cell {key_label(r.key)} (replicate {r.replicate}, "
+                f"seed {r.seed}): {r.error}"
+                for r in failures
+            ]
+            raise SweepError(
+                f"sweep '{self.sweep.name}': {len(failures)} cell(s) failed\n"
+                + "\n".join(lines)
+            )
+
+    # ------------------------------------------------------------- table
+
+    def as_table(self, strict: bool = True) -> dict:
+        """``{cell.key: value}`` in declared order.
+
+        With one replicate the value is exactly what ``run_cell``
+        returned — the byte-identical contract with the pre-engine
+        benchmarks. With N replicates, numeric metrics aggregate to
+        :class:`~repro.analysis.metrics.ReplicateStat` (mean ± spread)
+        and non-numeric metrics keep replicate 0's value.
+        """
+        if strict:
+            self.raise_failures()
+        by_key: dict[Any, list[CellResult]] = {}
+        order: list[Any] = []
+        for result in self.results:
+            if not result.ok:
+                continue
+            if result.key not in by_key:
+                by_key[result.key] = []
+                order.append(result.key)
+            by_key[result.key].append(result)
+        table: dict = {}
+        for key in order:
+            group = sorted(by_key[key], key=lambda r: r.replicate)
+            if len(group) == 1:
+                table[key] = group[0].value
+            else:
+                table[key] = _aggregate([r.value for r in group])
+        return table
+
+
+def _aggregate(values: list) -> Any:
+    """Merge replicate values: numeric dict entries -> mean ± spread."""
+    from repro.analysis.metrics import replicate_stats
+
+    first = values[0]
+    if not isinstance(first, dict):
+        samples = [v for v in values if _is_number(v)]
+        if len(samples) == len(values):
+            return replicate_stats(samples)
+        return first
+    merged = {}
+    for metric in first:
+        samples = [v.get(metric) for v in values]
+        if all(_is_number(s) for s in samples):
+            merged[metric] = replicate_stats(samples)
+        else:
+            merged[metric] = first[metric]
+    return merged
+
+
+def _is_number(value: Any) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and not (isinstance(value, float) and math.isnan(value))
+    )
+
+
+def grid(**axes: Iterable) -> list[dict[str, Any]]:
+    """Cartesian product of named axes as a list of param dicts —
+    convenience for declaring dense grids:
+
+    >>> grid(a=[1, 2], b=["x"])
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    combos: list[dict[str, Any]] = [{}]
+    for name, values in axes.items():
+        combos = [{**combo, name: value} for combo in combos for value in values]
+    return combos

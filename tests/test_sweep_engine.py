@@ -1,0 +1,294 @@
+"""Sweep engine: serial/parallel equivalence, seeds, cache, failures.
+
+The engine's contract (DESIGN.md "Experiment engine"):
+
+* ``workers=0`` and ``workers=N`` produce byte-identical tables — a
+  cell is a pure function of ``(seed, params)``, so where it runs can
+  never change what it computes;
+* per-cell seeds derive via blake2b of ``"{master}:{key}"`` (the
+  RngRegistry discipline, distinct hash family) and are stable forever;
+* the result cache is keyed by cell spec + source fingerprint — hits
+  are byte-identical, fingerprint moves invalidate everything;
+* failures surface as failed *cells*, never hung *runs* — including a
+  worker process dying outright.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.metrics import ReplicateStat, replicate_stats
+from repro.analysis.runner import (
+    SweepCache,
+    WORKERS_ENV,
+    resolve_workers,
+    run_sweep,
+    source_fingerprint,
+)
+from repro.analysis.sweep import (
+    Cell,
+    Sweep,
+    SweepError,
+    cell_seed,
+    counters_of,
+    grid,
+    with_counters,
+)
+
+
+# Cells must be top-level functions: workers unpickle them by reference.
+
+def _arith_cell(seed: int, x: int, scale: float):
+    rnd = (seed % 9973) / 9973.0
+    return {"y": x * scale + rnd, "x": x}
+
+
+def _sim_cell(seed: int, ticks: int):
+    from repro.sim.events import Simulator
+
+    sim = Simulator()
+    for i in range(ticks):
+        sim.schedule(0.001 * (i + 1), lambda: None)
+    sim.run(until=1.0)
+    return with_counters({"ticks": ticks}, sim)
+
+
+def _flaky_cell(seed: int, mode: str):
+    if mode == "raise":
+        raise ValueError(f"boom seed={seed}")
+    if mode == "die":
+        os._exit(13)
+    return {"ok": 1.0}
+
+
+def _arith_sweep(pin: int | None = 4501) -> Sweep:
+    return Sweep(
+        name="test_arith",
+        run_cell=_arith_cell,
+        cells=[Cell(key=(x, s), params={"x": x, "scale": s}, seed=pin)
+               for x in (1, 2, 3) for s in (0.5, 2.0)],
+        master_seed=4500,
+    )
+
+
+def _dump(result) -> str:
+    """Canonical bytes of a table (keys stringified for JSON)."""
+    table = result.as_table()
+    return json.dumps({str(k): v for k, v in table.items()}, sort_keys=True)
+
+
+# ------------------------------------------------------- serial == parallel
+
+def test_serial_and_parallel_tables_are_byte_identical():
+    sweep = _arith_sweep()
+    serial = run_sweep(sweep, workers=0, cache=False)
+    pooled = run_sweep(sweep, workers=2, cache=False)
+    assert _dump(serial) == _dump(pooled)
+    assert list(serial.as_table()) == [c.key for c in sweep.cells]
+    assert list(pooled.as_table()) == [c.key for c in sweep.cells]
+    assert serial.executed == len(sweep.cells)
+    assert pooled.executed == len(sweep.cells)
+
+
+def test_parallel_respects_declared_order_not_completion_order():
+    # Cells with very different costs: completion order differs from
+    # declared order, collection must not.
+    sweep = Sweep(
+        name="test_order",
+        run_cell=_sim_cell,
+        cells=[Cell(key=t, params={"ticks": t}) for t in (500, 1, 200, 5)],
+        master_seed=1,
+    )
+    pooled = run_sweep(sweep, workers=2, cache=False)
+    assert list(pooled.as_table()) == [500, 1, 200, 5]
+
+
+# -------------------------------------------------------------------- seeds
+
+def test_cell_seed_is_stable_forever():
+    # Pinned: these exact values are the cache-compatibility contract.
+    assert cell_seed(7, ("a", 1)) == 18109028095814720206
+    assert cell_seed(7, "a|1") == 18109028095814720206  # label form
+    assert cell_seed(7, ("a", 1), replicate=1) != cell_seed(7, ("a", 1))
+
+
+def test_cell_seed_varies_by_master_key_and_replicate():
+    seeds = {
+        cell_seed(1, "k"), cell_seed(2, "k"), cell_seed(1, "j"),
+        cell_seed(1, "k", 1), cell_seed(1, "k", 2),
+    }
+    assert len(seeds) == 5
+
+
+def test_pinned_seed_is_used_verbatim_for_replicate_zero():
+    sweep = _arith_sweep(pin=4501)
+    cell = sweep.cells[0]
+    assert sweep.seed_for(cell, 0) == 4501
+    assert sweep.seed_for(cell, 1) == cell_seed(4501, cell.key, 1)
+    unpinned = _arith_sweep(pin=None)
+    assert unpinned.seed_for(unpinned.cells[0], 0) == cell_seed(
+        4500, unpinned.cells[0].key
+    )
+
+
+# -------------------------------------------------------------------- cache
+
+def test_cache_hit_miss_and_fingerprint_invalidation(tmp_path):
+    sweep = _arith_sweep()
+    store = SweepCache(tmp_path)
+    cold = run_sweep(sweep, workers=0, cache=store, fingerprint="v1")
+    assert (cold.executed, cold.cached) == (len(sweep.cells), 0)
+    warm = run_sweep(sweep, workers=0, cache=store, fingerprint="v1")
+    assert (warm.executed, warm.cached) == (0, len(sweep.cells))
+    assert _dump(warm) == _dump(cold)  # hits are byte-identical
+    # A moved source fingerprint makes every entry unreachable.
+    fresh = run_sweep(sweep, workers=0, cache=store, fingerprint="v2")
+    assert (fresh.executed, fresh.cached) == (len(sweep.cells), 0)
+
+
+def test_cache_disabled_always_executes(tmp_path):
+    sweep = _arith_sweep()
+    for _ in range(2):
+        result = run_sweep(sweep, workers=0, cache=False)
+        assert result.cached == 0
+
+
+def test_source_fingerprint_tracks_extra_files(tmp_path):
+    base = source_fingerprint()
+    assert base == source_fingerprint()  # memoized, stable in-process
+    extra = tmp_path / "bench_mod.py"
+    extra.write_text("A = 1\n")
+    with_extra = source_fingerprint((str(extra),))
+    assert with_extra != base
+
+
+# ----------------------------------------------------------------- failures
+
+def test_in_cell_exception_becomes_failed_cell_not_crash():
+    sweep = Sweep(
+        name="test_raise",
+        run_cell=_flaky_cell,
+        cells=[
+            Cell(key="good-1", params={"mode": "ok"}),
+            Cell(key="bad", params={"mode": "raise"}),
+            Cell(key="good-2", params={"mode": "ok"}),
+        ],
+        master_seed=9,
+    )
+    result = run_sweep(sweep, workers=0, cache=False)
+    assert [r.key for r in result.failed] == ["bad"]
+    assert "ValueError" in result.failed[0].error
+    # Healthy cells still report.
+    assert result.as_table(strict=False) == {"good-1": {"ok": 1.0},
+                                             "good-2": {"ok": 1.0}}
+    with pytest.raises(SweepError, match="bad"):
+        result.as_table()
+
+
+def test_worker_death_fails_the_cell_not_the_run():
+    # os._exit(13) kills the worker process outright (no exception, no
+    # cleanup) — the engine must convert that into failed cells and
+    # return, never hang. Pool breakage may take neighbouring in-flight
+    # cells down with the dead one; the contract is completion +
+    # attribution, not isolation.
+    sweep = Sweep(
+        name="test_die",
+        run_cell=_flaky_cell,
+        cells=[
+            Cell(key="doomed", params={"mode": "die"}),
+            Cell(key="bystander", params={"mode": "ok"}),
+        ],
+        master_seed=9,
+    )
+    result = run_sweep(sweep, workers=2, cache=False)
+    assert len(result.results) == 2
+    assert "doomed" in {r.key for r in result.failed}
+    with pytest.raises(SweepError):
+        result.raise_failures()
+
+
+# --------------------------------------------------------------- replicates
+
+def test_replicates_aggregate_to_mean_and_spread():
+    sweep = _arith_sweep()
+    result = run_sweep(sweep, workers=0, replicates=3, cache=False)
+    assert len(result.results) == 3 * len(sweep.cells)
+    table = result.as_table()
+    cell = table[(1, 0.5)]
+    stat = cell["y"]
+    assert isinstance(stat, ReplicateStat)
+    assert stat.n == 3
+    # Replicate 0 runs the canonical pinned seed; its value equals the
+    # single-run table exactly.
+    single = run_sweep(sweep, workers=0, replicates=1, cache=False)
+    r0 = [r for r in result.results if r.key == (1, 0.5) and r.replicate == 0]
+    assert r0[0].seed == 4501
+    assert r0[0].value == single.as_table()[(1, 0.5)]
+    # The mean is the mean of the actual replicate values.
+    values = sorted(
+        r.value["y"] for r in result.results if r.key == (1, 0.5)
+    )
+    assert stat.mean == pytest.approx(sum(values) / 3)
+    assert str(stat) == f"{stat.mean:.3f} ±{stat.spread:.3f}"
+
+
+def test_replicate_stats_helper():
+    stat = replicate_stats([1.0, 2.0, 3.0])
+    assert stat.mean == pytest.approx(2.0)
+    assert stat.spread == pytest.approx(1.0)
+    assert float(stat) == stat.mean
+    assert replicate_stats([5.0]).spread == 0.0
+    with pytest.raises(ValueError):
+        replicate_stats([])
+
+
+# ----------------------------------------------------------------- counters
+
+def test_counters_cross_the_process_boundary_and_aggregate():
+    sweep = Sweep(
+        name="test_counters",
+        run_cell=_sim_cell,
+        cells=[Cell(key=t, params={"ticks": t}) for t in (3, 5)],
+        master_seed=2,
+    )
+    for workers in (0, 2):
+        result = run_sweep(sweep, workers=workers, cache=False)
+        assert result.counters["sim.events"] == 8.0
+        assert "timer.fired" in result.counters
+        stats = result.stats()
+        assert stats["sweep.cells"] == 2.0
+        assert stats["sweep.executed"] == 2.0
+        assert stats["sweep.workers"] == float(workers)
+
+
+def test_counters_of_walks_scenarios():
+    from repro.analysis.scenarios import line_scenario
+
+    scn = line_scenario(11, n_hops=1)
+    scn.run_for(1.0)
+    counters = counters_of(scn)
+    assert counters["sim.events"] == scn.sim.events_processed
+    assert counters_of(scn, scn.overlay, scn.sim) == counters  # dedup
+
+
+# -------------------------------------------------------------- environment
+
+def test_resolve_workers_precedence(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "3")
+    assert resolve_workers() == 3
+    assert resolve_workers(1) == 1  # explicit beats env
+    assert resolve_workers(0) == 0  # zero forces serial
+    monkeypatch.delenv(WORKERS_ENV)
+    assert resolve_workers() >= 0  # cpu-count heuristic, never negative
+    with pytest.raises(ValueError):
+        resolve_workers(-1)
+
+
+def test_grid_helper_is_cartesian_in_declaration_order():
+    assert grid(a=[1, 2], b=["x", "y"]) == [
+        {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+        {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+    ]
