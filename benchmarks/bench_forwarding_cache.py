@@ -27,10 +27,19 @@ from repro.core.message import Address, ROUTING_DISJOINT, ServiceSpec
 from repro.core.network import OverlayNetwork
 from repro.analysis.workloads import CbrSource
 from repro.net.internet import Internet
+from repro.audit import assert_identical
 from repro.sim.events import Simulator
 from repro.sim.rng import RngRegistry
 
-from bench_util import add_profile_arg, maybe_profile, print_table, run_experiment
+from bench_util import (
+    add_audit_arg,
+    add_profile_arg,
+    enable_audit,
+    finish_audit,
+    maybe_profile,
+    print_table,
+    run_experiment,
+)
 
 N_NODES = 20
 ISP = "mesh"
@@ -156,9 +165,10 @@ def run_forwarding_cache(steady_time: float = STEADY_TIME,
                          churn_time: float = CHURN_TIME) -> dict:
     uncached = _run_once(False, steady_time, churn_time)
     cached = _run_once(True, steady_time, churn_time)
-    assert cached["deliveries"] == uncached["deliveries"], (
-        "the forwarding cache changed routing behaviour — delivery "
-        "traces must be byte-identical"
+    assert_identical(
+        cached["deliveries"], uncached["deliveries"], label="deliveries",
+        header="the forwarding cache changed routing behaviour — delivery "
+        "traces must be byte-identical",
     )
     steady, churn_stats = cached["steady"], cached["churn"]
     return {
@@ -221,7 +231,9 @@ if __name__ == "__main__":
     parser.add_argument("--quick", action="store_true",
                         help="short segments (CI smoke mode)")
     add_profile_arg(parser)
+    add_audit_arg(parser)
     args = parser.parse_args()
+    enable_audit(args.audit)
     if args.quick:
         result = maybe_profile(args.profile, run_forwarding_cache,
                                steady_time=4.0, churn_time=4.5)
@@ -230,4 +242,5 @@ if __name__ == "__main__":
     for key, value in result.items():
         print(f"{key}: {value:.3f}" if isinstance(value, float) else f"{key}: {value}")
     _check_shape(result)
+    finish_audit()
     print("ok")

@@ -18,6 +18,7 @@ times, same receivers — determinism is what makes sharing sound).
 
 import time
 
+from repro.audit import assert_identical
 from repro.core.compute import RouteComputeEngine
 from repro.core.config import OverlayConfig
 from repro.core.message import Address, ROUTING_DISJOINT, ServiceSpec
@@ -27,7 +28,15 @@ from repro.net.internet import Internet
 from repro.sim.events import Simulator
 from repro.sim.rng import RngRegistry
 
-from bench_util import add_profile_arg, maybe_profile, print_table, run_experiment
+from bench_util import (
+    add_audit_arg,
+    add_profile_arg,
+    enable_audit,
+    finish_audit,
+    maybe_profile,
+    print_table,
+    run_experiment,
+)
 
 N_NODES = 20
 ISP = "mesh"
@@ -134,8 +143,9 @@ def _run_once(shared: bool, run_time: float = RUN_TIME) -> dict:
 def run_route_compute(run_time: float = RUN_TIME) -> dict:
     per_node = _run_once(shared=False, run_time=run_time)
     shared = _run_once(shared=True, run_time=run_time)
-    assert shared["deliveries"] == per_node["deliveries"], (
-        "sharing changed routing behaviour — traces must be identical"
+    assert_identical(
+        shared["deliveries"], per_node["deliveries"], label="deliveries",
+        header="sharing changed routing behaviour — traces must be identical",
     )
     return {
         "delivered_msgs": len(shared["deliveries"]),
@@ -175,11 +185,14 @@ if __name__ == "__main__":
     parser.add_argument("--quick", action="store_true",
                         help="short run (CI smoke mode)")
     add_profile_arg(parser)
+    add_audit_arg(parser)
     args = parser.parse_args()
+    enable_audit(args.audit)
     result = maybe_profile(args.profile, run_route_compute,
                            run_time=8.0 if args.quick else RUN_TIME)
     for key, value in result.items():
         print(f"{key}: {value:.3f}" if isinstance(value, float) else f"{key}: {value}")
     assert result["compute_reduction"] >= 3.0, result
     assert result["shared_hit_rate"] > result["per_node_hit_rate"], result
+    finish_audit()
     print("ok")

@@ -40,10 +40,19 @@ from repro.core.message import Address
 from repro.core.network import OverlayNetwork
 from repro.analysis.workloads import CbrSource
 from repro.net.internet import Internet
+from repro.audit import assert_identical
 from repro.sim.events import Simulator
 from repro.sim.rng import RngRegistry
 
-from bench_util import add_profile_arg, maybe_profile, print_table, run_experiment
+from bench_util import (
+    add_audit_arg,
+    add_profile_arg,
+    enable_audit,
+    finish_audit,
+    maybe_profile,
+    print_table,
+    run_experiment,
+)
 
 N_NODES = 16
 ISP = "mesh"
@@ -145,9 +154,10 @@ def run_simcore(run_time: float = RUN_TIME, alloc_time: float = 4.0,
     # every leg is deterministic, so min is the honest estimator.
     baseline = _run_once(False, run_time)
     fast = _run_once(True, run_time)
-    assert fast["deliveries"] == baseline["deliveries"], (
-        "timer recycling / control fast path changed behaviour — "
-        "delivery traces must be byte-identical"
+    assert_identical(
+        fast["deliveries"], baseline["deliveries"], label="deliveries",
+        header="timer recycling / control fast path changed behaviour — "
+        "delivery traces must be byte-identical",
     )
     assert fast["timer_fired"] == baseline["timer_fired"], (
         "both modes must fire the same periodic timers the same "
@@ -157,10 +167,14 @@ def run_simcore(run_time: float = RUN_TIME, alloc_time: float = 4.0,
     fast_wall = fast["wall_s"]
     for _ in range(repeats - 1):
         again = _run_once(False, run_time)
-        assert again["deliveries"] == baseline["deliveries"]
+        assert_identical(again["deliveries"], baseline["deliveries"],
+                         label="deliveries",
+                         header="baseline repeat run diverged from itself")
         base_wall = min(base_wall, again["wall_s"])
         again = _run_once(True, run_time)
-        assert again["deliveries"] == baseline["deliveries"]
+        assert_identical(again["deliveries"], baseline["deliveries"],
+                         label="deliveries",
+                         header="fast repeat run diverged from the baseline")
         fast_wall = min(fast_wall, again["wall_s"])
     alloc_baseline = _run_once(False, alloc_time, trace_allocs=True)
     alloc_fast = _run_once(True, alloc_time, trace_allocs=True)
@@ -234,7 +248,9 @@ if __name__ == "__main__":
                         help="short run (CI smoke mode; skips the "
                         "speedup gate, which needs a quiet machine)")
     add_profile_arg(parser)
+    add_audit_arg(parser)
     args = parser.parse_args()
+    enable_audit(args.audit)
     run_time = QUICK_RUN_TIME if args.quick else RUN_TIME
     result = maybe_profile(args.profile, run_simcore, run_time=run_time,
                            repeats=1 if args.quick else 3)
@@ -248,4 +264,5 @@ if __name__ == "__main__":
             f"expected >= 1.4x steady-state speedup, got "
             f"{result['speedup']:.2f}x"
         )
+    finish_audit()
     print("ok")

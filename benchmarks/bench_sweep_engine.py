@@ -27,6 +27,7 @@ import tempfile
 import time
 
 from repro.analysis.metrics import flow_stats
+from repro.audit import assert_identical
 from repro.analysis.runner import SweepCache, resolve_workers, run_sweep
 from repro.analysis.scenarios import line_scenario
 from repro.analysis.sweep import Cell, Sweep, with_counters
@@ -35,8 +36,11 @@ from repro.core.message import Address, LINK_NM_STRIKES, ServiceSpec
 from repro.net.loss import BernoulliLoss
 
 from bench_util import (
+    add_audit_arg,
     add_profile_arg,
     add_workers_arg,
+    enable_audit,
+    finish_audit,
     format_table,
     maybe_profile,
     print_table,
@@ -119,9 +123,11 @@ def run_sweep_engine(duration: float = DURATION, workers: int | None = None)\
     pooled, pooled_wall = _timed(sweep, workers=pool_workers, cache=False)
     serial_table = _render(serial)
     pooled_table = _render(pooled)
-    assert pooled_table == serial_table, (
-        "workers=%d table diverged from the serial reference:\n%s\n--\n%s"
-        % (pool_workers, serial_table, pooled_table)
+    assert_identical(
+        pooled_table.splitlines(), serial_table.splitlines(),
+        label="table lines",
+        header=f"workers={pool_workers} table diverged from the serial "
+        "reference",
     )
 
     # Cache legs in a private store: cold run simulates every cell,
@@ -130,8 +136,12 @@ def run_sweep_engine(duration: float = DURATION, workers: int | None = None)\
         store = SweepCache(tmp)
         cold, cold_wall = _timed(sweep, workers=0, cache=store)
         warm, warm_wall = _timed(sweep, workers=0, cache=store)
-    assert _render(cold) == serial_table
-    assert _render(warm) == serial_table
+    assert_identical(_render(cold).splitlines(), serial_table.splitlines(),
+                     label="table lines",
+                     header="cache-cold table diverged from the reference")
+    assert_identical(_render(warm).splitlines(), serial_table.splitlines(),
+                     label="table lines",
+                     header="cache-warm table diverged from the reference")
 
     cells = len(sweep.cells)
     return {
@@ -197,7 +207,9 @@ if __name__ == "__main__":
                         "speedup gate, which needs >= 4 real cores)")
     add_workers_arg(parser)
     add_profile_arg(parser)
+    add_audit_arg(parser)
     args = parser.parse_args()
+    enable_audit(args.audit)
     duration = QUICK_DURATION if args.quick else DURATION
     result = maybe_profile(args.profile, run_sweep_engine,
                            duration=duration, workers=args.workers)
@@ -214,4 +226,5 @@ if __name__ == "__main__":
             f"expected >= 2.5x at {result['workers']} workers on {cores} "
             f"cores, got {result['speedup']:.2f}x"
         )
+    finish_audit()
     print("ok")

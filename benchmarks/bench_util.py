@@ -18,6 +18,7 @@ unless the source tree changed.
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Any, Callable
 
 #: Counter families uniformly surfaced into ``benchmark.extra_info``
@@ -181,7 +182,9 @@ def sweep_main(doc: str | None, run: Callable[..., Any],
     parser = argparse.ArgumentParser(description=doc)
     add_sweep_args(parser)
     add_profile_arg(parser)
+    add_audit_arg(parser)
     args = parser.parse_args()
+    enable_audit(args.audit)
     result = maybe_profile(
         args.profile, run,
         workers=args.workers, replicates=args.replicates, cache=not args.fresh,
@@ -195,7 +198,84 @@ def sweep_main(doc: str | None, run: Callable[..., Any],
         f"{int(stats['sweep.cached'])} from cache, "
         f"workers={int(stats['sweep.workers'])}"
     )
+    finish_audit(result)
     return result
+
+
+# ----------------------------------------------------------------- auditing
+
+#: Where :func:`finish_audit` writes the machine-readable audit report
+#: (repo root; the CI ``audit-smoke`` leg uploads it as an artifact).
+AUDIT_REPORT_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "AUDIT_report.json"
+)
+
+
+def add_audit_arg(parser) -> None:
+    """Install the shared ``--audit`` option: arm the runtime invariant
+    auditor (:mod:`repro.audit`) for this run and print its report at
+    the end (pair with :func:`enable_audit` / :func:`finish_audit`)."""
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="run with the runtime invariant auditor armed "
+        "(equivalent to REPRO_AUDIT=1) and print the audit report; "
+        "exits non-zero on any violation",
+    )
+
+
+def enable_audit(on: bool) -> None:
+    """Arm the auditor for the rest of this process when ``on`` (the
+    ``--audit`` flag) — must run *before* the experiment constructs its
+    overlays. Also resets the process-wide auditor registry so the
+    final report covers exactly this run."""
+    if on:
+        os.environ["REPRO_AUDIT"] = "1"
+    from repro.audit import audit_enabled, reset_auditors
+
+    if audit_enabled():
+        reset_auditors()
+
+
+def finish_audit(result: Any = None) -> None:
+    """If the auditor is armed, run the post-hoc checks over every
+    audited overlay this process built, print the merged report, write
+    the JSON artifact to :data:`AUDIT_REPORT_PATH`, and exit non-zero
+    on any violation.
+
+    ``result`` may be a :class:`~repro.analysis.sweep.SweepResult`:
+    cells that ran in pool workers audited themselves in their own
+    process, and their ``audit.check`` / ``audit.violation`` totals
+    come back through the cell counters — those are folded into the
+    pass/fail decision here (their full violation records stay in the
+    worker; re-run with ``--workers 0`` to see them localized).
+    """
+    from repro.audit import audit_enabled, collect_report
+
+    if not audit_enabled():
+        return
+    report = collect_report()
+    worker_checks = worker_violations = 0
+    counters = getattr(result, "counters", None)
+    if isinstance(counters, dict):
+        worker_checks = int(counters.get("audit.check", 0))
+        worker_violations = int(counters.get("audit.violation", 0))
+    print(report.format())
+    if worker_checks:
+        print(
+            f"   (cell counters report {worker_checks} checks, "
+            f"{worker_violations} violation(s), including worker processes)"
+        )
+    path = os.path.normpath(AUDIT_REPORT_PATH)
+    with open(path, "w") as fh:
+        fh.write(report.to_json())
+        fh.write("\n")
+    print(f"audit report written to {path}")
+    if report.violations or worker_violations:
+        raise SystemExit(
+            f"audit: {len(report.violations) + worker_violations} "
+            "violation(s) — see report above"
+        )
 
 
 # ---------------------------------------------------------------- profiling

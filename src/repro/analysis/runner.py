@@ -90,30 +90,42 @@ def resolve_workers(workers: int | None = None) -> int:
 _FINGERPRINT_CACHE: dict[tuple, str] = {}
 
 
-def source_fingerprint(extra_paths: tuple = ()) -> str:
+def source_fingerprint(extra_paths: tuple = (), root: str | Path | None = None) -> str:
     """blake2b over the ``repro`` source tree (+ any extra files).
 
-    The digest covers every ``*.py`` under the installed ``repro``
-    package, as (relative path, content) pairs in sorted order, so any
-    edit anywhere in the simulator/protocol/analysis stack invalidates
-    every cached cell. ``extra_paths`` lets the runner fold in the
-    benchmark module that defines ``run_cell``.
+    The digest covers **every file** under the installed ``repro``
+    package — not just ``*.py``, so edits to bundled non-Python inputs
+    (topology/data files, templates) invalidate cached cells too — as
+    (relative path, content) pairs in sorted order. Bytecode caches
+    (``__pycache__``, ``*.pyc``) are excluded: they churn without any
+    semantic change. ``extra_paths`` lets the runner fold in the
+    benchmark module that defines ``run_cell`` plus the shared
+    ``bench_util.py`` helpers it imports; ``root`` overrides the tree
+    to hash (tests use a temporary tree).
     """
-    key = tuple(str(p) for p in extra_paths)
+    key = (None if root is None else str(root), *(str(p) for p in extra_paths))
     cached = _FINGERPRINT_CACHE.get(key)
     if cached is not None:
         return cached
-    import repro
-
     digest = hashlib.blake2b(digest_size=16)
-    root = Path(repro.__file__).resolve().parent
-    files = sorted(root.rglob("*.py"))
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    else:
+        root = Path(root).resolve()
+    files = sorted(
+        path for path in root.rglob("*")
+        if path.is_file()
+        and "__pycache__" not in path.parts
+        and path.suffix != ".pyc"
+    )
     for path in files:
         digest.update(str(path.relative_to(root)).encode())
         digest.update(b"\0")
         digest.update(path.read_bytes())
         digest.update(b"\0")
-    for extra in sorted(key):
+    for extra in sorted(str(p) for p in extra_paths):
         path = Path(extra)
         if path.is_file():
             digest.update(path.name.encode())
@@ -123,6 +135,21 @@ def source_fingerprint(extra_paths: tuple = ()) -> str:
     fingerprint = digest.hexdigest()
     _FINGERPRINT_CACHE[key] = fingerprint
     return fingerprint
+
+
+def fingerprint_extras(source_file: str | None) -> tuple:
+    """The extra files to fold into the cache fingerprint for a
+    ``run_cell`` defined in ``source_file``: the module itself plus the
+    shared ``bench_util.py`` sitting next to it (bench modules import
+    its helpers, so an edit there must invalidate their cached cells
+    exactly like an edit to the bench module itself)."""
+    if not source_file:
+        return ()
+    extras = [source_file]
+    util = Path(source_file).with_name("bench_util.py")
+    if util.is_file():
+        extras.append(str(util))
+    return tuple(extras)
 
 
 # --------------------------------------------------------------------- cache
@@ -257,11 +284,9 @@ def run_sweep(
     workers = resolve_workers(workers)
     store = _as_cache(cache)
     if fingerprint is None and store is not None:
-        extra: tuple = ()
-        src = inspect.getsourcefile(sweep.run_cell)
-        if src:
-            extra = (src,)
-        fingerprint = source_fingerprint(extra)
+        fingerprint = source_fingerprint(
+            fingerprint_extras(inspect.getsourcefile(sweep.run_cell))
+        )
 
     jobs: list[tuple[int, Cell, int, int]] = []  # (slot, cell, replicate, seed)
     for cell in sweep.cells:

@@ -317,7 +317,13 @@ class SweepResult:
 
 
 def _aggregate(values: list) -> Any:
-    """Merge replicate values: numeric dict entries -> mean ± spread."""
+    """Merge replicate values: numeric dict entries -> mean ± spread.
+
+    A replicate whose ``run_cell`` succeeded but returned a non-dict
+    (``None``, a bare scalar) contributes nothing to a dict cell's
+    aggregation — its garbage is skipped, never averaged in (and never
+    crashes the metric walk with an attribute error on ``None.get``).
+    """
     from repro.analysis.metrics import replicate_stats
 
     first = values[0]
@@ -326,9 +332,10 @@ def _aggregate(values: list) -> Any:
         if len(samples) == len(values):
             return replicate_stats(samples)
         return first
+    dicts = [v for v in values if isinstance(v, dict)]
     merged = {}
     for metric in first:
-        samples = [v.get(metric) for v in values]
+        samples = [v.get(metric) for v in dicts]
         if all(_is_number(s) for s in samples):
             merged[metric] = replicate_stats(samples)
         else:

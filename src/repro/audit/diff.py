@@ -1,0 +1,173 @@
+"""Trace differ: localize the first divergence between two runs.
+
+Every optimization PR in this repo carries the same correctness
+contract — the optimized run must be **byte-identical** to its
+baseline — and until now every benchmark enforced it with a bare
+``assert a == b`` that, on failure, dumps two multi-thousand-record
+lists with no hint of *where* they split. This module generalizes
+those checks: :func:`diff_sequences` compares any two record sequences
+(delivery tuples, rendered table lines) and :func:`diff_traces`
+compares two whole :class:`~repro.sim.trace.TraceCollector` streams
+(sends, deliveries, counters), each returning a :class:`Divergence`
+that names the first differing index and carries a window of
+surrounding records from both sides. :func:`assert_identical` is the
+drop-in replacement for the benches' hand-rolled asserts: it raises
+:class:`TraceDivergenceError` whose message *is* the formatted
+divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+#: Records shown on each side of the first divergent index.
+DEFAULT_CONTEXT = 3
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two record streams disagree.
+
+    Attributes:
+        label: What was being compared (``"deliveries"``, ``"sends"``,
+            ``"counters"``, a bench-specific name, ...).
+        index: Index of the first divergent record. For a pure length
+            mismatch this is the length of the shorter stream.
+        left: The record on the left side, or ``None`` past its end.
+        right: The record on the right side, or ``None`` past its end.
+        context: ``(index, left_record, right_record)`` rows around the
+            divergence (records are ``None`` past a stream's end).
+    """
+
+    label: str
+    index: int
+    left: Any
+    right: Any
+    context: tuple = field(default_factory=tuple)
+
+    def format(self) -> str:
+        """The divergence as readable text: the first differing record
+        with its neighbors from both streams."""
+        lines = [f"first divergence in '{self.label}' at index {self.index}:"]
+        for idx, left, right in self.context:
+            marker = ">>" if idx == self.index else "  "
+            lines.append(f"{marker} [{idx}] left : {left!r}")
+            lines.append(f"{marker} [{idx}] right: {right!r}")
+        return "\n".join(lines)
+
+
+class TraceDivergenceError(AssertionError):
+    """Two runs that must be byte-identical were not.
+
+    Subclasses :class:`AssertionError` so existing ``pytest.raises``
+    patterns and the benches' assert-style contracts keep working; the
+    message carries the localized :attr:`divergence` context.
+    """
+
+    def __init__(self, divergence: Divergence, header: str = "") -> None:
+        self.divergence = divergence
+        message = divergence.format()
+        if header:
+            message = f"{header}\n{message}"
+        super().__init__(message)
+
+
+def _window(a: Sequence, b: Sequence, index: int, context: int) -> tuple:
+    lo = max(0, index - context)
+    hi = max(len(a), len(b))
+    hi = min(hi, index + context + 1)
+    rows = []
+    for i in range(lo, hi):
+        rows.append((
+            i,
+            a[i] if i < len(a) else None,
+            b[i] if i < len(b) else None,
+        ))
+    return tuple(rows)
+
+
+def diff_sequences(
+    a: Sequence,
+    b: Sequence,
+    label: str = "records",
+    context: int = DEFAULT_CONTEXT,
+) -> Divergence | None:
+    """First divergence between two record sequences, or ``None`` when
+    they are identical.
+
+    Records are compared with ``==`` in order; a length mismatch past
+    the common prefix diverges at the shorter stream's length.
+    """
+    for i, (left, right) in enumerate(zip(a, b)):
+        if left != right:
+            return Divergence(
+                label, i, left, right, context=_window(a, b, i, context)
+            )
+    if len(a) != len(b):
+        i = min(len(a), len(b))
+        return Divergence(
+            f"{label} (length {len(a)} vs {len(b)})",
+            i,
+            a[i] if i < len(a) else None,
+            b[i] if i < len(b) else None,
+            context=_window(a, b, i, context),
+        )
+    return None
+
+
+def diff_counters(
+    a: dict, b: dict, label: str = "counters"
+) -> Divergence | None:
+    """First differing counter between two ``{name: value}`` dicts
+    (compared in sorted key order; a key missing on one side counts as
+    a divergence at that key), or ``None`` when equal."""
+    names = sorted(set(a) | set(b))
+    for i, name in enumerate(names):
+        left = a.get(name)
+        right = b.get(name)
+        if left != right:
+            return Divergence(
+                f"{label}[{name}]", i, left, right,
+                context=((i, (name, left), (name, right)),),
+            )
+    return None
+
+
+def diff_traces(a, b, context: int = DEFAULT_CONTEXT) -> Divergence | None:
+    """Structurally compare two :class:`~repro.sim.trace.TraceCollector`
+    streams: sends first, then delivery records, then counters. Returns
+    the first :class:`Divergence` found, or ``None`` when the traces
+    are byte-identical."""
+    divergence = diff_sequences(a.sends, b.sends, "sends", context)
+    if divergence is not None:
+        return divergence
+    divergence = diff_sequences(a.records, b.records, "deliveries", context)
+    if divergence is not None:
+        return divergence
+    return diff_counters(a.counters.as_dict(), b.counters.as_dict())
+
+
+def assert_identical(
+    a: Any,
+    b: Any,
+    label: str = "records",
+    header: str = "",
+    context: int = DEFAULT_CONTEXT,
+) -> None:
+    """Assert two streams are byte-identical, raising a
+    :class:`TraceDivergenceError` that localizes the first divergent
+    record with surrounding context.
+
+    ``a`` / ``b`` may be two :class:`~repro.sim.trace.TraceCollector`
+    objects (compared with :func:`diff_traces`) or any two record
+    sequences (compared with :func:`diff_sequences`) — this is the
+    single replacement for the benches' hand-rolled ``assert a == b``
+    byte-identity checks.
+    """
+    if hasattr(a, "sends") and hasattr(a, "records"):
+        divergence = diff_traces(a, b, context)
+    else:
+        divergence = diff_sequences(a, b, label, context)
+    if divergence is not None:
+        raise TraceDivergenceError(divergence, header=header)

@@ -1,0 +1,351 @@
+"""Runtime invariant checkers for the optimized subsystems.
+
+PRs 1-4 each bought speed with caching or object recycling, and each
+preserves correctness through an invariant that can be *checked*, not
+just trusted (the self-stabilizing-overlay literature's view of
+correctness as a detectable predicate over network state). This module
+holds those checkers:
+
+* **event-heap accounting** (:func:`check_heap_accounting`) — the
+  simulator's O(1) ``_live`` / ``_dead`` counters must match a direct
+  scan of the queue, before and after a forced lazy compaction;
+* **simulator teardown** (:func:`check_teardown`) — after
+  :meth:`~repro.sim.events.Simulator.clear`, nothing may remain queued
+  and no recycled :class:`~repro.sim.events.PeriodicEvent` may have
+  leaked a re-armed firing;
+* **datagram conservation** (:func:`check_datagram_conservation`) —
+  every datagram the underlay accepted is delivered, dropped for a
+  counted reason, or still in flight on the event queue;
+* **forwarding-cache coherence** (:class:`AuditedForwardingCache`) — a
+  deterministically sampled fraction of ``fwd.hit`` decisions is
+  re-derived cold and compared against the cached value under the
+  current topology^group fingerprint generation;
+* **route-engine consistency** (:class:`AuditedRouteComputeEngine`) —
+  sampled cache hits of the shared route-computation engine are
+  recomputed fresh and compared against the cached artifact.
+
+The :class:`Auditor` ties them together: one per audited
+:class:`~repro.core.network.OverlayNetwork` (created only when
+:func:`audit_enabled` says so — audit-off runs construct the plain
+classes and pay **zero** overhead), counting every check and recording
+failures as :class:`~repro.audit.report.AuditViolation` entries plus
+``audit.check`` / ``audit.violation`` counters.
+
+Sampling is counter-based (every ``sample_every``-th hit), never
+RNG-based, and recomputation calls the same pure decision closures the
+caches memoize — so an audited run consumes no extra randomness and
+produces **byte-identical traces** to an unaudited one (``route.*`` /
+``fwd.*`` counters are *not* part of that contract; the audit's extra
+recomputations intentionally do not inflate them, but checks add
+``audit.*`` counts of their own).
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+
+from repro.audit.report import AuditReport, AuditViolation
+from repro.core.compute import RouteComputeEngine
+from repro.core.pipeline import ForwardingCache
+
+#: Default sampling period for hit re-derivation: every Nth cache hit
+#: is recomputed cold. Deterministic (a counter, not an RNG draw).
+DEFAULT_SAMPLE_EVERY = 16
+
+
+def audit_enabled(config=None) -> bool:
+    """Whether the audit subsystem should be armed: true when the given
+    :class:`~repro.core.config.OverlayConfig` sets ``audit=True`` or
+    the ``REPRO_AUDIT`` environment variable is set to anything but
+    empty/``0`` (the bench CLIs' shared ``--audit`` flag sets it)."""
+    if config is not None and getattr(config, "audit", False):
+        return True
+    return os.environ.get("REPRO_AUDIT", "") not in ("", "0")
+
+
+# ---------------------------------------------------------------- auditor
+
+#: Every Auditor constructed in this process (the bench CLIs collect a
+#: final merged report from here; see :func:`collect_report`).
+_AUDITORS: list["Auditor"] = []
+
+
+def reset_auditors() -> None:
+    """Forget previously registered auditors (test isolation, and the
+    start of an audited bench run)."""
+    _AUDITORS.clear()
+
+
+def active_auditors() -> list["Auditor"]:
+    """The auditors registered in this process since the last
+    :func:`reset_auditors`."""
+    return list(_AUDITORS)
+
+
+def collect_report(run_checks: bool = True) -> AuditReport:
+    """Merge every registered auditor's report into one.
+
+    With ``run_checks=True`` (the default) each auditor first runs its
+    post-hoc checks (:meth:`Auditor.run_checks`) against its network,
+    so the merged report covers the end-of-run invariants too.
+    """
+    merged = AuditReport()
+    for auditor in _AUDITORS:
+        if run_checks:
+            auditor.run_checks()
+        merged.merge(auditor.report)
+    return merged
+
+
+class Auditor:
+    """Invariant bookkeeping for one audited overlay network.
+
+    Created by :class:`~repro.core.network.OverlayNetwork` when
+    :func:`audit_enabled` is true, and threaded into the audited cache
+    subclasses; the plain (audit-off) construction path never touches
+    this class. Each check increments ``audit.check`` in the network's
+    counter sink; each failure records an
+    :class:`~repro.audit.report.AuditViolation` (with a counter
+    snapshot) and increments ``audit.violation``.
+
+    Args:
+        counters: The network's :class:`~repro.sim.trace.Counter` sink
+            (optional — standalone checker use in tests may omit it).
+        sample_every: Sampling period for cache-hit re-derivation.
+        network: The owning network (held weakly; used by
+            :meth:`run_checks`).
+        register: Register in the process-wide auditor list consumed by
+            :func:`collect_report` (the bench ``--audit`` path).
+    """
+
+    def __init__(self, counters=None, sample_every: int = DEFAULT_SAMPLE_EVERY,
+                 network=None, register: bool = True) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.counters = counters
+        self.sample_every = sample_every
+        self.report = AuditReport()
+        self._network = weakref.ref(network) if network is not None else None
+        if register:
+            _AUDITORS.append(self)
+
+    def check(
+        self,
+        invariant: str,
+        ok: bool,
+        detail: str = "",
+        sim_time: float | None = None,
+        node: str | None = None,
+        flow: str | None = None,
+    ) -> bool:
+        """Record one invariant check; on failure, capture a violation
+        with the current counter snapshot. Returns ``ok``."""
+        self.report.count_check()
+        if self.counters is not None:
+            self.counters.add("audit.check")
+        if ok:
+            return True
+        snapshot = self.counters.as_dict() if self.counters is not None else {}
+        self.report.record(AuditViolation(
+            invariant=invariant, detail=detail, sim_time=sim_time,
+            node=node, flow=flow, counters=snapshot,
+        ))
+        if self.counters is not None:
+            self.counters.add("audit.violation")
+        return False
+
+    def run_checks(self) -> AuditReport:
+        """Run the post-hoc whole-system checks against the owning
+        network (heap accounting, datagram conservation) and return
+        this auditor's report. A no-op if the network is gone."""
+        network = self._network() if self._network is not None else None
+        if network is not None:
+            check_heap_accounting(network.sim, self)
+            check_datagram_conservation(network.internet, self)
+        return self.report
+
+
+# ------------------------------------------------------- heap invariants
+
+def _scan_heap(sim) -> tuple[int, int]:
+    """Directly count (live, dead) entries in the simulator's queue."""
+    live = dead = 0
+    for entry in sim._queue:
+        event = entry[2] if sim._recycle else entry
+        if event._cancelled:
+            dead += 1
+        else:
+            live += 1
+    return live, dead
+
+
+def check_heap_accounting(sim, auditor: Auditor, compact: bool = True) -> bool:
+    """The simulator's O(1) ``_live`` / ``_dead`` counters must equal a
+    direct scan of the queue — and must still do so after a forced
+    lazy compaction (``compact=True``), which additionally may not
+    change the live population or leave any dead entry behind.
+
+    Compaction preserves the deterministic (time, seq) pop order, so
+    forcing it here is behaviour-neutral for the remaining run.
+    """
+    live, dead = _scan_heap(sim)
+    ok = auditor.check(
+        "heap-accounting",
+        live == sim._live and dead == sim._dead,
+        f"queue scan found live={live} dead={dead}, counters say "
+        f"live={sim._live} dead={sim._dead}",
+        sim_time=sim.now,
+    )
+    if not compact:
+        return ok
+    sim._compact()
+    live_after, dead_after = _scan_heap(sim)
+    ok &= auditor.check(
+        "heap-accounting-compacted",
+        live_after == live == sim._live and dead_after == 0 == sim._dead,
+        f"after compaction: scan live={live_after} dead={dead_after}, "
+        f"counters live={sim._live} dead={sim._dead} (live before: {live})",
+        sim_time=sim.now,
+    )
+    return ok
+
+
+def check_teardown(sim, auditor: Auditor) -> bool:
+    """After :meth:`~repro.sim.events.Simulator.clear` (teardown),
+    nothing may remain queued and the live count must be zero — in
+    particular, no recycled periodic timer may have re-armed itself
+    past the teardown (the leak the ``clear()``-during-callback fix in
+    ``sim/events.py`` closes)."""
+    leaked = [
+        entry[2] if sim._recycle else entry
+        for entry in sim._queue
+    ]
+    periodic = [event for event in leaked if event.periodic]
+    return auditor.check(
+        "teardown-leak",
+        not leaked and sim.pending_events == 0,
+        f"{len(leaked)} event(s) still queued after teardown "
+        f"({len(periodic)} periodic), pending_events={sim.pending_events}",
+        sim_time=sim.now,
+    )
+
+
+# ------------------------------------------------- datagram conservation
+
+def _in_flight_datagrams(internet) -> int:
+    """Count queued, non-cancelled underlay continuation events — each
+    one is exactly one datagram currently walking its hop chain."""
+    sim = internet.sim
+    count = 0
+    for entry in sim._queue:
+        event = entry[2] if sim._recycle else entry
+        if event._cancelled:
+            continue
+        fn = event.fn
+        if getattr(fn, "__self__", None) is internet and \
+                getattr(fn, "__name__", "") in ("_hop", "_deliver", "_drop"):
+            count += 1
+    return count
+
+
+def check_datagram_conservation(internet, auditor: Auditor) -> bool:
+    """Every datagram the underlay accepted must be accounted for
+    exactly once: delivered, dropped for a counted reason
+    (``drop:*``), or still in flight on the event queue."""
+    counters = internet.counters.as_dict()
+    sent = counters.get("datagrams-sent", 0.0)
+    delivered = counters.get("datagrams-delivered", 0.0)
+    dropped = sum(
+        value for name, value in counters.items() if name.startswith("drop:")
+    )
+    in_flight = _in_flight_datagrams(internet)
+    return auditor.check(
+        "datagram-conservation",
+        sent == delivered + dropped + in_flight,
+        f"sent={sent:.0f} != delivered={delivered:.0f} + "
+        f"dropped={dropped:.0f} + in-flight={in_flight}",
+        sim_time=internet.sim.now,
+    )
+
+
+# ------------------------------------------------- audited cache variants
+
+class AuditedForwardingCache(ForwardingCache):
+    """A :class:`~repro.core.pipeline.ForwardingCache` that re-derives a
+    sampled fraction of its hits cold.
+
+    Every ``sample_every``-th hit re-runs the decision closure under
+    the current fingerprint generation and compares the fresh result to
+    the cached one — the coherence predicate behind the wholesale
+    generation-invalidation scheme. Instantiated by
+    :class:`~repro.core.pipeline.DataPlane` only when the owning
+    network is audited; the sampling counter is deterministic, so
+    audited and unaudited runs stay byte-identical.
+    """
+
+    __slots__ = ("auditor", "node", "_audit_hits")
+
+    def __init__(self, auditor: Auditor, node, enabled: bool = True,
+                 capacity: int = 65_536) -> None:
+        super().__init__(node.counters, enabled=enabled, capacity=capacity)
+        self.auditor = auditor
+        self.node = node
+        self._audit_hits = 0
+
+    def lookup(self, generation: int, key, compute):
+        """As the base lookup, plus sampled cold re-derivation of hits."""
+        if not self.enabled:
+            return compute()
+        hit = generation == self._generation and key in self._decisions
+        value = super().lookup(generation, key, compute)
+        if hit:
+            self._audit_hits += 1
+            if self._audit_hits % self.auditor.sample_every == 0:
+                fresh = compute()
+                self.auditor.check(
+                    "fwd-coherence",
+                    fresh == value,
+                    f"cached decision {key!r} = {value!r} but cold "
+                    f"recomputation under generation {generation} gives "
+                    f"{fresh!r}",
+                    sim_time=self.node.sim.now,
+                    node=self.node.id,
+                )
+        return value
+
+
+class AuditedRouteComputeEngine(RouteComputeEngine):
+    """A :class:`~repro.core.compute.RouteComputeEngine` that re-derives
+    a sampled fraction of its cache hits fresh.
+
+    Every ``sample_every``-th hit re-runs the artifact computation and
+    compares it to the cached artifact for the same fingerprint — the
+    consistency predicate content-addressed sharing rests on.
+    Instantiated by :class:`~repro.core.network.OverlayNetwork` only
+    when audited.
+    """
+
+    def __init__(self, auditor: Auditor, counters=None, capacity: int = 128,
+                 check_determinism: bool = False) -> None:
+        super().__init__(counters=counters, capacity=capacity,
+                         check_determinism=check_determinism)
+        self.auditor = auditor
+        self._audit_hits = 0
+
+    def lookup(self, fingerprint: int, key, compute):
+        """As the base lookup, plus sampled fresh recomputation of hits."""
+        entry = self._store.get(fingerprint)
+        hit = entry is not None and key in entry
+        value = super().lookup(fingerprint, key, compute)
+        if hit:
+            self._audit_hits += 1
+            if self._audit_hits % self.auditor.sample_every == 0:
+                fresh = compute()
+                self.auditor.check(
+                    "route-consistency",
+                    fresh == value,
+                    f"cached artifact {key!r} for fingerprint "
+                    f"{fingerprint:#x} differs from a fresh recomputation",
+                )
+        return value

@@ -1,0 +1,122 @@
+"""Audit findings: violations and the report that collects them.
+
+Every invariant check performed by :mod:`repro.audit.invariants` lands
+here as bookkeeping — a check counted, and on failure an
+:class:`AuditViolation` carrying enough context to debug the run it
+came from (which invariant, simulated time, node, flow, and a snapshot
+of the owning network's counters at the moment of failure). The
+:class:`AuditReport` is what benchmarks print under ``--audit`` and
+what the CI ``audit-smoke`` leg uploads as an artifact.
+
+The report also mirrors its totals into the overlay's ordinary
+:class:`~repro.sim.trace.Counter` sink as ``audit.check`` /
+``audit.violation``, so audit results travel wherever counters already
+do — ``benchmark.extra_info``, sweep-cell :class:`CellOutput` records
+crossing a process-pool boundary, and status snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One failed invariant check.
+
+    Attributes:
+        invariant: Name of the violated invariant (e.g.
+            ``"heap-accounting"``, ``"fwd-coherence"``).
+        detail: Human-readable description of what diverged.
+        sim_time: Simulated time when the check ran, if known.
+        node: Overlay node the check was attached to, if any.
+        flow: Flow identifier involved, if any.
+        counters: Snapshot of the owning network's counters at the
+            moment of failure (empty when no sink was attached).
+    """
+
+    invariant: str
+    detail: str
+    sim_time: float | None = None
+    node: str | None = None
+    flow: str | None = None
+    counters: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        """The violation as one readable line (plus counter context)."""
+        where = []
+        if self.sim_time is not None:
+            where.append(f"t={self.sim_time:.6f}s")
+        if self.node is not None:
+            where.append(f"node={self.node}")
+        if self.flow is not None:
+            where.append(f"flow={self.flow}")
+        suffix = f" [{' '.join(where)}]" if where else ""
+        return f"VIOLATION {self.invariant}{suffix}: {self.detail}"
+
+
+class AuditReport:
+    """Accumulates the checks run and the violations found.
+
+    One report per :class:`~repro.audit.invariants.Auditor`;
+    :func:`repro.audit.invariants.collect_report` merges the reports of
+    every auditor the process created into the single report a bench
+    prints and CI gates on.
+    """
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.violations: list[AuditViolation] = []
+
+    @property
+    def ok(self) -> bool:
+        """True when every check performed so far passed."""
+        return not self.violations
+
+    def count_check(self, n: int = 1) -> None:
+        """Record that ``n`` invariant checks were performed."""
+        self.checks += n
+
+    def record(self, violation: AuditViolation) -> None:
+        """Record one failed check."""
+        self.violations.append(violation)
+
+    def merge(self, other: "AuditReport") -> None:
+        """Fold another report's checks and violations into this one."""
+        self.checks += other.checks
+        self.violations.extend(other.violations)
+
+    def format(self) -> str:
+        """The whole report as printable text (benches print this
+        under ``--audit``)."""
+        lines = [
+            f"== audit report: {self.checks} checks, "
+            f"{len(self.violations)} violation(s) =="
+        ]
+        for violation in self.violations:
+            lines.append("  " + violation.format())
+            for name in sorted(violation.counters):
+                lines.append(f"      {name} = {violation.counters[name]}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """The report as a JSON document (the CI artifact format)."""
+        return json.dumps(
+            {
+                "checks": self.checks,
+                "violations": [
+                    {
+                        "invariant": v.invariant,
+                        "detail": v.detail,
+                        "sim_time": v.sim_time,
+                        "node": v.node,
+                        "flow": v.flow,
+                        "counters": v.counters,
+                    }
+                    for v in self.violations
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )

@@ -64,6 +64,16 @@ class OverlayConfig:
             loss estimate actually moved. Behaviour-neutral — disabling
             it restores the allocate-per-frame path (the
             ``bench_simcore`` baseline) with byte-identical traces.
+        audit: Arm the runtime invariant auditor
+            (:mod:`repro.audit`): the overlay is built with audited
+            cache variants that re-derive a sampled fraction of hits
+            cold, and post-hoc checkers (heap accounting, datagram
+            conservation) become available through
+            ``OverlayNetwork.auditor``. Also switchable process-wide
+            with ``REPRO_AUDIT=1``. Off (the default) constructs the
+            plain classes — strictly zero overhead. Audited runs keep
+            byte-identical traces (sampling is counter-based, never
+            RNG-based).
     """
 
     hello_interval: float = 0.1
@@ -85,5 +95,6 @@ class OverlayConfig:
     forwarding_cache: bool = True
     forwarding_cache_size: int = 65_536
     control_fastpath: bool = True
+    audit: bool = False
     #: Extra per-protocol defaults, e.g. {"nm-strikes": {"n": 3, "m": 2}}.
     protocol_defaults: dict = field(default_factory=dict)

@@ -12,6 +12,7 @@ overlays can even be run in parallel").
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Iterable, Sequence
 
 from repro.core.client import OverlayClient
@@ -55,17 +56,34 @@ class OverlayNetwork:
         self.config = config if config is not None else OverlayConfig()
         self.trace = TraceCollector()
         self.counters = Counter()
+        #: The runtime invariant auditor (:mod:`repro.audit`), armed by
+        #: ``config.audit`` or ``REPRO_AUDIT=1`` and None otherwise —
+        #: the audit-off path never imports the package and constructs
+        #: the plain cache classes below (zero overhead when off).
+        self.auditor = None
+        if self.config.audit or os.environ.get("REPRO_AUDIT", "") not in ("", "0"):
+            from repro.audit import AuditedRouteComputeEngine, Auditor
+
+            self.auditor = Auditor(counters=self.counters, network=self)
         #: Network-wide content-addressed route computation: every
         #: node's RoutingService delegates here, so replicas that have
         #: converged on the same shared state reuse one Dijkstra table /
         #: multicast tree / dissemination edge set instead of each
         #: recomputing it. Cache effectiveness shows up in the
         #: ``route.compute`` / ``route.hit`` / ``route.evict`` counters.
-        self.route_engine = RouteComputeEngine(
-            counters=self.counters,
-            capacity=self.config.route_cache_size,
-            check_determinism=self.config.route_debug_check,
-        )
+        if self.auditor is not None:
+            self.route_engine = AuditedRouteComputeEngine(
+                self.auditor,
+                counters=self.counters,
+                capacity=self.config.route_cache_size,
+                check_determinism=self.config.route_debug_check,
+            )
+        else:
+            self.route_engine = RouteComputeEngine(
+                counters=self.counters,
+                capacity=self.config.route_cache_size,
+                check_determinism=self.config.route_debug_check,
+            )
         #: When set (a :class:`repro.security.crypto.KeyStore`), every
         #: frame is signed by its sending node and verified on receipt:
         #: only authorized overlay nodes can speak on the overlay

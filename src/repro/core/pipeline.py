@@ -143,11 +143,26 @@ class DataPlane:
         self.session = node.session
         self.flows = node.flows
         self.dedup = node.dedup
-        self.cache = ForwardingCache(
-            node.counters,
-            enabled=node.config.forwarding_cache,
-            capacity=node.config.forwarding_cache_size,
-        )
+        auditor = node.network.auditor
+        if auditor is not None:
+            # Audited overlays memoize through the coherence-checking
+            # cache variant; the plain class below is untouched when
+            # auditing is off (zero overhead — this branch is the only
+            # cost, paid once at construction).
+            from repro.audit import AuditedForwardingCache
+
+            self.cache = AuditedForwardingCache(
+                auditor,
+                node,
+                enabled=node.config.forwarding_cache,
+                capacity=node.config.forwarding_cache_size,
+            )
+        else:
+            self.cache = ForwardingCache(
+                node.counters,
+                enabled=node.config.forwarding_cache,
+                capacity=node.config.forwarding_cache_size,
+            )
 
     # -------------------------------------------------------- generation
 

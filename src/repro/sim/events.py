@@ -212,8 +212,14 @@ class PeriodicEvent(Event):
         sim = self._sim
         self.fired += 1
         sim.timer_fired += 1
+        epoch = sim._cleared
         self.fn(*self.args)
-        if self.auto and not self._cancelled and self._proxy is None:
+        if (
+            self.auto
+            and epoch == sim._cleared
+            and not self._cancelled
+            and self._proxy is None
+        ):
             self._proxy = sim.schedule(self.interval, self._proxy_fire)
             self.rearmed += 1
             sim.timer_rearmed += 1
@@ -257,6 +263,11 @@ class Simulator:
         self._processed = 0
         self._live = 0  # queued events that are not cancelled
         self._dead = 0  # queued events that are cancelled (lazy deletes)
+        #: Teardown epoch: bumped by clear(). A periodic timer firing
+        #: while clear() runs is not in the queue, so the cancellation
+        #: sweep cannot reach it — the run loop compares this epoch
+        #: around the callback and suppresses the re-arm instead.
+        self._cleared = 0
         self._recycle = recycle_timers
         self._event_cls = Event if recycle_timers else _LegacyEvent
         #: Aggregate periodic-timer counters (per-timer counts live on
@@ -484,8 +495,13 @@ class Simulator:
                 if event.periodic:
                     event.fired += 1
                     self.timer_fired += 1
+                    epoch = self._cleared
                     event.fn(*event.args)
-                    if event.auto and not (event._cancelled or event._queued):
+                    if (
+                        event.auto
+                        and epoch == self._cleared
+                        and not (event._cancelled or event._queued)
+                    ):
                         # Re-arm in place: same object, fresh seq —
                         # identical order to scheduling a new event at
                         # the end of the callback, without allocating.
@@ -559,8 +575,13 @@ class Simulator:
             if event.periodic:
                 event.fired += 1
                 self.timer_fired += 1
+                epoch = self._cleared
                 event.fn(*event.args)
-                if event.auto and not (event._cancelled or event._queued):
+                if (
+                    event.auto
+                    and epoch == self._cleared
+                    and not (event._cancelled or event._queued)
+                ):
                     event.time += event.interval
                     event.seq = self._seq
                     self._seq += 1
@@ -577,7 +598,11 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left as-is). Periodic
-        timers are cancelled — re-arm survivors with ``reschedule``."""
+        timers are cancelled — re-arm survivors with ``reschedule``.
+        Safe to call from inside a callback: the teardown epoch bump
+        suppresses the auto re-arm of the timer currently firing (which
+        is not in the queue, so the sweep below cannot cancel it)."""
+        self._cleared += 1
         for entry in self._queue:
             event = entry[2] if self._recycle else entry
             event._queued = False

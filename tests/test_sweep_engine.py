@@ -292,3 +292,86 @@ def test_grid_helper_is_cartesian_in_declaration_order():
         {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
         {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
     ]
+
+
+# ------------------------------------------------------- PR-5 regressions
+
+def _fresh_fingerprint(root):
+    """source_fingerprint with the in-process memoization bypassed —
+    the memo is correct in production (the tree cannot change under a
+    running process) but these tests edit the tree mid-test."""
+    from repro.analysis.runner import _FINGERPRINT_CACHE
+
+    _FINGERPRINT_CACHE.clear()
+    return source_fingerprint(root=root)
+
+
+def test_source_fingerprint_covers_non_python_files(tmp_path):
+    """Regression: the fingerprint hashed only ``*.py``, so editing a
+    bundled data file silently kept serving stale cached cells."""
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "mod.py").write_text("A = 1\n")
+    (root / "topo.json").write_text('{"nodes": 3}\n')
+    before = _fresh_fingerprint(root)
+    (root / "topo.json").write_text('{"nodes": 4}\n')
+    assert _fresh_fingerprint(root) != before
+
+
+def test_source_fingerprint_ignores_bytecode_churn(tmp_path):
+    root = tmp_path / "pkg"
+    (root / "__pycache__").mkdir(parents=True)
+    (root / "mod.py").write_text("A = 1\n")
+    before = _fresh_fingerprint(root)
+    (root / "__pycache__" / "mod.cpython-311.pyc").write_bytes(b"\x00\x01")
+    (root / "mod.pyc").write_bytes(b"\x02")
+    assert _fresh_fingerprint(root) == before
+
+
+def test_fingerprint_extras_folds_in_bench_util(tmp_path):
+    from repro.analysis.runner import fingerprint_extras
+
+    assert fingerprint_extras(None) == ()
+    bench = tmp_path / "bench_x.py"
+    bench.write_text("pass\n")
+    assert fingerprint_extras(str(bench)) == (str(bench),)
+    util = tmp_path / "bench_util.py"
+    util.write_text("pass\n")
+    assert fingerprint_extras(str(bench)) == (str(bench), str(util))
+
+
+def _none_cell(seed: int, bad: bool):
+    """A cell that 'succeeds' but returns garbage when ``bad``."""
+    if bad:
+        return None
+    return {"m": float(seed % 7)}
+
+
+def test_aggregate_skips_non_dict_replicate_values():
+    """Regression: a replicate that returned ``None`` (success, garbage
+    value) crashed ``_aggregate`` with an AttributeError instead of
+    being skipped."""
+    from repro.analysis.sweep import _aggregate
+
+    merged = _aggregate([{"m": 1.0}, None, {"m": 3.0}])
+    stat = merged["m"]
+    assert isinstance(stat, ReplicateStat)
+    assert stat.mean == pytest.approx(2.0)
+    assert stat.n == 2
+
+
+def test_as_table_non_strict_skips_failed_replicates():
+    sweep = Sweep(
+        name="flaky-agg",
+        run_cell=_flaky_cell,
+        cells=[Cell(key="good", params={"mode": "ok"}),
+               Cell(key="bad", params={"mode": "raise"})],
+    )
+    result = run_sweep(sweep, workers=0, cache=False, replicates=2)
+    assert len(result.failed) == 2  # both replicates of the bad cell
+    assert result.stats()["sweep.failed"] == 2.0
+    with pytest.raises(SweepError):
+        result.as_table()
+    table = result.as_table(strict=False)
+    assert list(table) == ["good"]
+    assert isinstance(table["good"]["ok"], ReplicateStat)
