@@ -61,6 +61,16 @@ RATE_PPS = 20.0
 RUN_TIME = 30.0
 QUICK_RUN_TIME = 6.0
 
+#: The n=100 scaling leg: a 100-node ring+chords overlay carrying the
+#: same client fleet once packet-level and once fluid, recording
+#: events/s and wall clock for each (the hybrid engine's scaling story
+#: at a size the per-datagram engine still tolerates).
+SCALE_N = 100
+SCALE_RUN_TIME = 10.0
+SCALE_QUICK_RUN_TIME = 3.0
+SCALE_FLOWS = 64
+SCALE_RATE_PPS = 5.0
+
 #: Where the tracked perf snapshot lands (repo root, next to this dir).
 RESULT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_simcore.json")
 
@@ -145,8 +155,76 @@ def _run_once(fast: bool, run_time: float, trace_allocs: bool = False) -> dict:
     }
 
 
+def _scaling_leg(fluid: bool, n_nodes: int, run_time: float) -> dict:
+    """One n=100 leg: the same flow fleet, per-datagram or fluid."""
+    sim = Simulator()
+    rngs = RngRegistry(SEED)
+    inet = Internet(sim, rngs)
+    domain = inet.add_isp(ISP, convergence_delay=10.0)
+    fibers = sorted(
+        {tuple(sorted((f"r{i:03d}", f"r{(i + d) % n_nodes:03d}")))
+         for i in range(n_nodes) for d in (1, 3)}
+    )
+    for i in range(n_nodes):
+        domain.add_router(f"r{i:03d}")
+    for a, b in fibers:
+        domain.add_link(a, b, 0.010, None, None)
+    for i in range(n_nodes):
+        inet.add_host(f"n{i:03d}", access_delay=0.0)
+        inet.attach(f"n{i:03d}", ISP, f"r{i:03d}")
+    sites = [f"n{i:03d}" for i in range(n_nodes)]
+    links = [(f"n{a[1:]}", f"n{b[1:]}") for a, b in fibers]
+    overlay = OverlayNetwork(inet, sites, links, OverlayConfig())
+    overlay.warm_up(2.0)
+    engine = overlay.fluid_engine() if fluid else None
+
+    sources = []
+    for i in range(SCALE_FLOWS):
+        src = f"n{i % n_nodes:03d}"
+        sink = f"n{(i * 7 + n_nodes // 2) % n_nodes:03d}"
+        overlay.client(sink, 7)
+        sources.append(CbrSource(
+            sim, overlay.client(src), Address(sink, 7),
+            rate_pps=SCALE_RATE_PPS, fluid=engine,
+        ).start())
+
+    events_before = sim.events_processed
+    started = time.perf_counter()
+    sim.run(until=sim.now + run_time)
+    if engine is not None:
+        engine.settle_now()
+    wall = time.perf_counter() - started
+    events = sim.events_processed - events_before
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_s": events / wall if wall > 0 else 0.0,
+    }
+
+
+def run_scaling(n_nodes: int = SCALE_N,
+                run_time: float = SCALE_RUN_TIME) -> dict:
+    """Packet vs fluid events/s on the n=100 mesh (tracked in
+    BENCH_simcore.json alongside the 16-node engine numbers)."""
+    packet = _scaling_leg(False, n_nodes, run_time)
+    fluid = _scaling_leg(True, n_nodes, run_time)
+    return {
+        "n_nodes": n_nodes,
+        "run_time_s": run_time,
+        "flows": SCALE_FLOWS,
+        "flow_rate_pps": SCALE_RATE_PPS,
+        "packet_wall_s": packet["wall_s"],
+        "packet_events": packet["events"],
+        "packet_events_per_s": packet["events_per_s"],
+        "fluid_wall_s": fluid["wall_s"],
+        "fluid_events": fluid["events"],
+        "fluid_events_per_s": fluid["events_per_s"],
+    }
+
+
 def run_simcore(run_time: float = RUN_TIME, alloc_time: float = 4.0,
-                repeats: int = 3) -> dict:
+                repeats: int = 3,
+                scale_time: float = SCALE_RUN_TIME) -> dict:
     # Timing legs first (no tracemalloc — it would dominate the cost),
     # then short instrumented legs for the allocation story. Wall time
     # is best-of-``repeats``, legs interleaved, so an OS scheduling
@@ -178,7 +256,9 @@ def run_simcore(run_time: float = RUN_TIME, alloc_time: float = 4.0,
         fast_wall = min(fast_wall, again["wall_s"])
     alloc_baseline = _run_once(False, alloc_time, trace_allocs=True)
     alloc_fast = _run_once(True, alloc_time, trace_allocs=True)
+    scaling = run_scaling(run_time=scale_time)
     return {
+        "scaling_n100": scaling,
         "run_time_s": run_time,
         "delivered_msgs": len(fast["deliveries"]),
         "events": fast["events"],
@@ -213,6 +293,10 @@ def _check_shape(result: dict) -> None:
     # Timing shape (soft here; the >= 1.4x gate is asserted by full
     # `__main__` runs where the machine is not doing anything else).
     assert result["fast_wall_s"] <= result["baseline_wall_s"] * 1.1, result
+    # n=100 scaling leg: the fluid run modeled the same client fleet
+    # with strictly fewer events than the per-datagram run.
+    scaling = result["scaling_n100"]
+    assert scaling["fluid_events"] < scaling["packet_events"], result
 
 
 def bench_simcore(benchmark):
@@ -226,6 +310,17 @@ def bench_simcore(benchmark):
              result["baseline_events_per_s"], result["baseline_alloc_blocks"]),
             ("recycled + fast path", result["fast_wall_s"],
              result["fast_events_per_s"], result["fast_alloc_blocks"]),
+        ],
+    )
+    scaling = result["scaling_n100"]
+    print_table(
+        f"Scaling leg: n={scaling['n_nodes']} mesh, {scaling['flows']} flows",
+        ["mode", "wall s", "events", "events/s"],
+        [
+            ("packet", scaling["packet_wall_s"], scaling["packet_events"],
+             scaling["packet_events_per_s"]),
+            ("fluid", scaling["fluid_wall_s"], scaling["fluid_events"],
+             scaling["fluid_events_per_s"]),
         ],
     )
     print_table(
@@ -252,8 +347,10 @@ if __name__ == "__main__":
     args = parser.parse_args()
     enable_audit(args.audit)
     run_time = QUICK_RUN_TIME if args.quick else RUN_TIME
+    scale_time = SCALE_QUICK_RUN_TIME if args.quick else SCALE_RUN_TIME
     result = maybe_profile(args.profile, run_simcore, run_time=run_time,
-                           repeats=1 if args.quick else 3)
+                           repeats=1 if args.quick else 3,
+                           scale_time=scale_time)
     for key, value in result.items():
         print(f"{key}: {value:.3f}" if isinstance(value, float) else f"{key}: {value}")
     _check_shape(result)

@@ -1,0 +1,249 @@
+"""Fluid-vs-packet calibration harness.
+
+The hybrid fluid mode (:mod:`repro.core.fluid`) claims two things:
+
+1. **Fidelity** — a fluid run's delivery ratio and mean latency match a
+   packet-level run of the same scenario within a small, documented
+   tolerance (the fluid model is the analytic expectation of the packet
+   process, so the gap is discretization plus sampling noise).
+2. **Inertness** — the fluid engine never perturbs the packet event
+   stream. Packet flows present in both runs must produce
+   **byte-identical** traces whether or not fluid flows share the
+   overlay.
+
+This module builds one shared scenario (the 16-node ring+chords mesh
+from ``benchmarks/bench_simcore.py``), runs it once packet-level and
+once fluid, and checks both claims with the audit trace differ. The
+benchmark ``benchmarks/bench_fluid.py`` and ``tests/test_fluid.py``
+both drive it; the tolerances here are the documented ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import FlowStats, fluid_flow_stats, flow_stats
+from repro.analysis.workloads import CbrSource
+from repro.audit import assert_identical
+from repro.core.config import OverlayConfig
+from repro.core.message import Address
+from repro.core.network import OverlayNetwork
+from repro.net.internet import Internet
+from repro.net.loss import GilbertElliottLoss
+from repro.sim.events import Simulator
+from repro.sim.rng import RngRegistry
+
+N_NODES = 16
+ISP = "mesh"
+SEED = 777
+WARM_UP = 2.0
+
+#: Documented calibration tolerances. Loss-free runs are analytic on
+#: both sides, so only discretization separates them (a fluid flow
+#: offers ``rate * duration`` modeled messages, a packet flow a whole
+#: number); lossy runs add Gilbert–Elliott sampling noise around the
+#: stationary expectation the fluid model uses.
+DELIVERY_TOL = 0.02       #: |delivery-ratio delta|, loss-free
+DELIVERY_TOL_LOSSY = 0.05  #: |delivery-ratio delta| under G-E loss
+LATENCY_TOL = 0.002       #: |mean-latency delta| in seconds
+
+#: Ring plus chords, as in bench_simcore: node i links to i+1 and i+3.
+FIBERS = sorted(
+    {tuple(sorted((f"r{i:02d}", f"r{(i + d) % N_NODES:02d}")))
+     for i in range(N_NODES) for d in (1, 3)}
+)
+
+#: The bulk flows under calibration (src, sink) — these switch between
+#: packet and fluid representation across the two runs.
+BULK_FLOWS = (("n00", "n08"), ("n03", "n11"), ("n05", "n13"), ("n10", "n02"))
+
+#: Pure packet flows present identically in both runs — their traces
+#: must be byte-identical, fluid engine active or not.
+PACKET_FLOWS = (("n01", "n09"), ("n06", "n14"))
+
+BULK_RATE_PPS = 20.0
+PACKET_RATE_PPS = 5.0
+BULK_PORT = 7
+PACKET_PORT = 8
+
+
+@dataclass(frozen=True)
+class FlowDelta:
+    """One bulk flow's fluid-vs-packet calibration gap."""
+
+    flow: str
+    destination: str
+    packet: FlowStats
+    fluid: FlowStats
+
+    @property
+    def delivery_delta(self) -> float:
+        return abs(self.fluid.delivery_ratio - self.packet.delivery_ratio)
+
+    @property
+    def latency_delta(self) -> float:
+        return abs(self.fluid.latency.mean - self.packet.latency.mean)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of one packet-vs-fluid calibration run."""
+
+    run_time: float
+    lossy: bool
+    deltas: list[FlowDelta]
+    packet_wall_events: int
+    fluid_wall_events: int
+
+    @property
+    def max_delivery_delta(self) -> float:
+        return max(d.delivery_delta for d in self.deltas)
+
+    @property
+    def max_latency_delta(self) -> float:
+        return max(d.latency_delta for d in self.deltas)
+
+    @property
+    def delivery_tolerance(self) -> float:
+        return DELIVERY_TOL_LOSSY if self.lossy else DELIVERY_TOL
+
+    def check(self) -> None:
+        """Assert every flow is inside the documented tolerances."""
+        for delta in self.deltas:
+            assert delta.delivery_delta <= self.delivery_tolerance, (
+                f"{delta.flow}: delivery ratio diverged "
+                f"{delta.delivery_delta:.4f} > {self.delivery_tolerance} "
+                f"(packet {delta.packet.delivery_ratio:.4f}, "
+                f"fluid {delta.fluid.delivery_ratio:.4f})"
+            )
+            assert delta.latency_delta <= LATENCY_TOL, (
+                f"{delta.flow}: mean latency diverged "
+                f"{delta.latency_delta * 1000:.3f} ms > "
+                f"{LATENCY_TOL * 1000:.1f} ms"
+            )
+
+
+def build_overlay(lossy: bool = False,
+                  config: OverlayConfig | None = None) -> OverlayNetwork:
+    """The shared scenario: 16-node mesh overlay on one ISP.
+
+    With ``lossy`` set, every third fiber carries bursty
+    Gilbert–Elliott loss (stationary expectation ~2.4%), so calibration
+    also exercises the analytic loss path.
+    """
+    sim = Simulator()
+    rngs = RngRegistry(SEED)
+    inet = Internet(sim, rngs)
+    domain = inet.add_isp(ISP, convergence_delay=10.0)
+    for i in range(N_NODES):
+        domain.add_router(f"r{i:02d}")
+    for idx, (a, b) in enumerate(FIBERS):
+        loss = None
+        if lossy and idx % 3 == 0:
+            loss = GilbertElliottLoss(
+                mean_good=2.0, mean_bad=0.05, good_loss=0.0, bad_loss=1.0
+            )
+        domain.add_link(a, b, 0.010, None, loss)
+    for i in range(N_NODES):
+        inet.add_host(f"n{i:02d}", access_delay=0.0)
+        inet.attach(f"n{i:02d}", ISP, f"r{i:02d}")
+    sites = [f"n{i:02d}" for i in range(N_NODES)]
+    links = [(f"n{a[1:]}", f"n{b[1:]}") for a, b in FIBERS]
+    return OverlayNetwork(inet, sites, links, config or OverlayConfig())
+
+
+def _run_leg(fluid: bool, run_time: float, lossy: bool,
+             probe_every: int = 0) -> dict:
+    """One leg of the calibration: the same flow set, packet or fluid."""
+    overlay = build_overlay(lossy=lossy)
+    sim = overlay.sim
+    overlay.warm_up(WARM_UP)
+    engine = overlay.fluid_engine() if fluid else None
+
+    bulk = []
+    for src, sink in BULK_FLOWS:
+        overlay.client(sink, BULK_PORT)
+        bulk.append(CbrSource(
+            sim, overlay.client(src), Address(sink, BULK_PORT),
+            rate_pps=BULK_RATE_PPS, duration=run_time,
+            fluid=engine, probe_every=probe_every,
+        ).start())
+    packet = []
+    for src, sink in PACKET_FLOWS:
+        overlay.client(sink, PACKET_PORT)
+        packet.append(CbrSource(
+            sim, overlay.client(src), Address(sink, PACKET_PORT),
+            rate_pps=PACKET_RATE_PPS, duration=run_time,
+        ).start())
+
+    start = sim.now
+    events_before = sim.events_processed
+    # A little tail so the last in-flight packets land.
+    sim.run(until=start + run_time + 1.0)
+    if engine is not None:
+        engine.settle_now()
+
+    stats: dict[str, FlowStats] = {}
+    for source, (__, sink) in zip(bulk, BULK_FLOWS):
+        dest = f"{sink}:{BULK_PORT}"
+        if fluid:
+            stats[source.flow] = fluid_flow_stats(source.fluid_flow, dest)
+        else:
+            stats[source.flow] = flow_stats(
+                overlay.trace, source.flow, dest, after=start
+            )
+    packet_records = {
+        source.flow: sorted(
+            (r for r in overlay.trace.records if r.flow == source.flow),
+            key=lambda r: (r.seq, r.destination),
+        )
+        for source in packet
+    }
+    return {
+        "overlay": overlay,
+        "bulk_stats": stats,
+        "bulk_flows": [s.flow for s in bulk],
+        "bulk_sinks": [f"{sink}:{BULK_PORT}" for __, sink in BULK_FLOWS],
+        "packet_records": packet_records,
+        "events": sim.events_processed - events_before,
+    }
+
+
+def run_calibration(run_time: float = 20.0, lossy: bool = False,
+                    probe_every: int = 0) -> CalibrationResult:
+    """Run the scenario packet-level then fluid and compare.
+
+    The pure packet flows' traces are asserted byte-identical between
+    the legs (lossy fibers never sit on their paths when ``lossy`` —
+    the loss RNG draws *would* differ once bulk packets stop consuming
+    them, so identity is only claimed for the loss-free scenario).
+    """
+    packet_leg = _run_leg(False, run_time, lossy)
+    fluid_leg = _run_leg(True, run_time, lossy, probe_every=probe_every)
+
+    if not lossy:
+        for flow, records in packet_leg["packet_records"].items():
+            assert_identical(
+                fluid_leg["packet_records"][flow], records,
+                label=f"packet flow {flow}",
+                header="fluid engine perturbed a pure packet flow — "
+                "packet traces must be byte-identical with fluid off/on",
+            )
+
+    deltas = [
+        FlowDelta(
+            flow=flow,
+            destination=dest,
+            packet=packet_leg["bulk_stats"][flow],
+            fluid=fluid_leg["bulk_stats"][flow],
+        )
+        for flow, dest in zip(packet_leg["bulk_flows"],
+                              packet_leg["bulk_sinks"])
+    ]
+    return CalibrationResult(
+        run_time=run_time,
+        lossy=lossy,
+        deltas=deltas,
+        packet_wall_events=packet_leg["events"],
+        fluid_wall_events=fluid_leg["events"],
+    )

@@ -116,6 +116,114 @@ def flow_stats(
     )
 
 
+def weighted_latency_summary(
+    intervals: list[tuple[float, float]],
+) -> LatencySummary:
+    """Summarize fluid ``(weight, latency)`` rate intervals into the
+    same :class:`LatencySummary` packet latencies produce.
+
+    Percentiles are weighted (the smallest latency whose cumulative
+    delivered weight reaches the quantile); ``count`` is the total
+    delivered weight (fractional — modeled messages, not packets);
+    ``jitter`` is 0 by construction, since within a rate interval the
+    fluid model's latency is constant (probe packets carry the
+    per-packet jitter evidence in hybrid runs).
+    """
+    pairs = [(w, lat) for w, lat in intervals if w > 0.0]
+    if not pairs:
+        return LatencySummary(
+            0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan
+        )
+    total = sum(w for w, __ in pairs)
+    ordered = sorted(pairs, key=lambda p: p[1])
+
+    def weighted_percentile(q: float) -> float:
+        target = q * total
+        cumulative = 0.0
+        for weight, latency in ordered:
+            cumulative += weight
+            if cumulative >= target - 1e-12:
+                return latency
+        return ordered[-1][1]
+
+    return LatencySummary(
+        count=total,
+        mean=sum(w * lat for w, lat in pairs) / total,
+        p50=weighted_percentile(0.50),
+        p90=weighted_percentile(0.90),
+        p99=weighted_percentile(0.99),
+        max=ordered[-1][1],
+        jitter=0.0,
+    )
+
+
+def fluid_flow_stats(
+    fluid_flow,
+    destination: str,
+    deadline: float | None = None,
+) -> FlowStats:
+    """A fluid flow's outcome at one destination, in the same
+    :class:`FlowStats` shape packet traces produce (``sent`` and
+    ``delivered`` are fractional modeled-message weights).
+
+    ``fluid_flow`` is a settled :class:`repro.core.fluid.FluidFlow`
+    (call ``engine.settle_now()`` after the run).
+    """
+    intervals = fluid_flow.intervals(destination)
+    within = None
+    if deadline is not None and fluid_flow.offered:
+        on_time = sum(w for w, lat in intervals if lat <= deadline)
+        within = on_time / fluid_flow.offered
+    return FlowStats(
+        flow=fluid_flow.flow,
+        destination=destination,
+        sent=fluid_flow.offered,
+        delivered=fluid_flow.delivered(destination),
+        latency=weighted_latency_summary(intervals),
+        within_deadline=within,
+    )
+
+
+def hybrid_flow_stats(
+    trace: TraceCollector,
+    fluid_flow,
+    destination: str,
+    deadline: float | None = None,
+    after: float = 0.0,
+) -> FlowStats:
+    """Combined outcome of a hybrid flow: the fluid bulk plus its
+    sampled probe packets (which share the flow id and ride the packet
+    path, so they live in ``trace``). Probe deliveries enter the
+    weighted summary as weight-1 intervals."""
+    packet = flow_stats(trace, fluid_flow.flow, destination,
+                        deadline=deadline, after=after)
+    intervals = list(fluid_flow.intervals(destination))
+    probe_latencies = [
+        r.latency
+        for r in trace.records
+        if r.flow == fluid_flow.flow and r.destination == destination
+        and r.sent_at >= after and r.latency is not None
+    ]
+    intervals.extend((1.0, lat) for lat in probe_latencies)
+    sent = fluid_flow.offered + packet.sent
+    within = None
+    if deadline is not None and sent:
+        fluid_on_time = sum(
+            w for w, lat in fluid_flow.intervals(destination)
+            if lat <= deadline
+        )
+        probe_on_time = sum(1 for lat in probe_latencies if lat <= deadline)
+        within = (fluid_on_time + probe_on_time) / sent
+    return FlowStats(
+        flow=fluid_flow.flow,
+        destination=destination,
+        sent=sent,
+        delivered=fluid_flow.delivered(destination) + packet.delivered,
+        latency=weighted_latency_summary(intervals),
+        within_deadline=within,
+    )
+
+
 def availability_gaps(
     records: list[DeliveryRecord], expected_interval: float, factor: float = 3.0
 ) -> list[tuple[float, float]]:

@@ -3,6 +3,16 @@
 :class:`CbrSource` models the paper's main workloads — continuous video
 transport and monitoring streams are constant-bit-rate packet flows.
 :class:`PoissonSource` provides bursty background/attack traffic.
+
+Both share :class:`TrafficSource`, which owns the lifecycle bookkeeping
+(start delay, duration, stop flag, send/reject counters, flow identity)
+and the **hybrid fluid mode**: pass ``fluid=network.fluid_engine()``
+and the source registers a :class:`repro.core.fluid.FluidFlow` instead
+of sending one packet per message. With ``probe_every=N`` every Nth
+message is still sent as a *real* packet on the same flow id (the fluid
+rate is reduced by the probe share), so a fluid run keeps genuine
+per-packet latency/tail evidence that can be compared byte-for-byte
+against a pure packet run.
 """
 
 from __future__ import annotations
@@ -11,12 +21,129 @@ import random
 from typing import Any, Callable
 
 from repro.core.client import OverlayClient
-from repro.core.message import Address, ServiceSpec
+from repro.core.message import Address, ServiceSpec, flow_id
 from repro.sim.events import Simulator
 
 
-class CbrSource:
-    """Sends ``rate_pps`` packets per second for ``duration`` seconds."""
+class TrafficSource:
+    """Shared lifecycle state for the traffic sources.
+
+    Owns rate/size/service validation, the ``duration`` stop deadline,
+    the sent/rejected counters, the flow identity, and — in fluid mode —
+    the fluid flow's registration window (delayed start, duration stop).
+    Subclasses implement the packet cadence (:meth:`start` arming their
+    timers, a tick sending via :meth:`_send_one`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: OverlayClient,
+        dst: Address,
+        rate_pps: float,
+        size: int,
+        service: ServiceSpec | None,
+        duration: float | None,
+        fluid=None,
+        probe_every: int = 0,
+    ) -> None:
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        if probe_every < 0:
+            raise ValueError("probe_every must be non-negative")
+        if probe_every == 1:
+            raise ValueError(
+                "probe_every=1 leaves no fluid share — use packet mode"
+            )
+        self.sim = sim
+        self.client = client
+        self.dst = dst
+        self.rate = rate_pps
+        self.size = size
+        self.service = service if service is not None else ServiceSpec()
+        self.duration = duration
+        self.fluid = fluid
+        self.probe_every = probe_every
+        self.sent = 0
+        self.rejected = 0
+        self.fluid_flow = None
+        self._stop_at: float | None = None
+        self._stopped = False
+        self._fluid_events: list = []
+        if fluid is not None:
+            # Fail at construction, not mid-run: only link-state
+            # unicast/multicast best-effort flows have a fluid form.
+            from repro.core.fluid import validate_fluid_spec
+
+            validate_fluid_spec(dst, self.service)
+
+    @property
+    def flow(self) -> str:
+        return flow_id(self.client.address, self.dst, self.service)
+
+    @property
+    def fluid_rate(self) -> float:
+        """The modeled (non-probe) share of the rate in fluid mode."""
+        if self.probe_every > 0:
+            return self.rate * (1.0 - 1.0 / self.probe_every)
+        return self.rate
+
+    # ------------------------------------------------------- lifecycle
+
+    def _arm_stop(self, delay: float) -> None:
+        if self.duration is not None:
+            self._stop_at = self.sim.now + delay + self.duration
+
+    def _expired(self) -> bool:
+        return self._stop_at is not None and self.sim.now >= self._stop_at
+
+    def _send_one(self, payload: Any = None) -> None:
+        if self.client.send(
+            self.dst, payload=payload, size=self.size, service=self.service
+        ):
+            self.sent += 1
+        else:
+            self.rejected += 1
+
+    def _start_fluid(self, delay: float) -> None:
+        """Register the fluid flow over [delay, delay + duration)."""
+        self._fluid_events.append(self.sim.schedule(delay, self._fluid_begin))
+        if self.duration is not None:
+            self._fluid_events.append(
+                self.sim.schedule(delay + self.duration, self._fluid_end)
+            )
+
+    def _fluid_begin(self) -> None:
+        if self._stopped:
+            return
+        self.fluid_flow = self.fluid.add_flow(
+            self.client, self.dst, self.fluid_rate,
+            size=self.size, service=self.service,
+        )
+
+    def _fluid_end(self) -> None:
+        if self.fluid_flow is not None and self.fluid_flow.active:
+            self.fluid.remove_flow(self.fluid_flow)
+
+    def stop(self) -> None:
+        self._stopped = True
+        for event in self._fluid_events:
+            event.cancel()
+        if self.fluid is not None:
+            self._fluid_end()
+        self._cancel_timer()
+
+    def _cancel_timer(self) -> None:  # pragma: no cover - overridden
+        pass
+
+
+class CbrSource(TrafficSource):
+    """Sends ``rate_pps`` packets per second for ``duration`` seconds.
+
+    In fluid mode (``fluid`` set) the stream is modeled as a constant
+    fluid rate; with ``probe_every=N`` one real packet is still sent
+    every N message slots (interval ``N / rate_pps``).
+    """
 
     def __init__(
         self,
@@ -28,61 +155,51 @@ class CbrSource:
         service: ServiceSpec | None = None,
         duration: float | None = None,
         payload_fn: Callable[[int], Any] | None = None,
+        fluid=None,
+        probe_every: int = 0,
     ) -> None:
-        if rate_pps <= 0:
-            raise ValueError("rate must be positive")
-        self.sim = sim
-        self.client = client
-        self.dst = dst
+        super().__init__(
+            sim, client, dst, rate_pps, size, service, duration,
+            fluid=fluid, probe_every=probe_every,
+        )
         self.interval = 1.0 / rate_pps
-        self.size = size
-        self.service = service if service is not None else ServiceSpec()
-        self.duration = duration
         self.payload_fn = payload_fn
-        self.sent = 0
-        self.rejected = 0
-        self._stop_at: float | None = None
-        self._stopped = False
         self._timer = None
 
     def start(self, delay: float = 0.0) -> "CbrSource":
-        if self.duration is not None:
-            self._stop_at = self.sim.now + delay + self.duration
-        self._timer = self.sim.schedule_periodic(
-            self.interval, self._tick, first=delay
-        )
+        self._arm_stop(delay)
+        if self.fluid is not None:
+            self._start_fluid(delay)
+            if self.probe_every > 0:
+                self._timer = self.sim.schedule_periodic(
+                    self.interval * self.probe_every, self._tick, first=delay
+                )
+        else:
+            self._timer = self.sim.schedule_periodic(
+                self.interval, self._tick, first=delay
+            )
         return self
 
-    def stop(self) -> None:
-        self._stopped = True
+    def _cancel_timer(self) -> None:
         if self._timer is not None:
             self._timer.cancel()
 
     def _tick(self) -> None:
-        if self._stopped or (
-            self._stop_at is not None and self.sim.now >= self._stop_at
-        ):
-            if self._timer is not None:
-                self._timer.cancel()
+        if self._stopped or self._expired():
+            self._cancel_timer()
             return
         payload = self.payload_fn(self.sent) if self.payload_fn else None
-        accepted = self.client.send(
-            self.dst, payload=payload, size=self.size, service=self.service
-        )
-        if accepted:
-            self.sent += 1
-        else:
-            self.rejected += 1
-
-    @property
-    def flow(self) -> str:
-        from repro.core.message import flow_id
-
-        return flow_id(self.client.address, self.dst, self.service)
+        self._send_one(payload)
 
 
-class PoissonSource:
-    """Exponentially spaced sends at a mean rate (background/attack)."""
+class PoissonSource(TrafficSource):
+    """Exponentially spaced sends at a mean rate (background/attack).
+
+    In fluid mode the stream is modeled at its *mean* rate (fluid flows
+    are piecewise-constant; sub-interval burstiness is averaged out —
+    use packet mode when burst structure matters). Probes stay
+    exponentially spaced at ``rate / probe_every``.
+    """
 
     def __init__(
         self,
@@ -94,48 +211,44 @@ class PoissonSource:
         size: int = 1200,
         service: ServiceSpec | None = None,
         duration: float | None = None,
+        fluid=None,
+        probe_every: int = 0,
     ) -> None:
-        if rate_pps <= 0:
-            raise ValueError("rate must be positive")
-        self.sim = sim
+        super().__init__(
+            sim, client, dst, rate_pps, size, service, duration,
+            fluid=fluid, probe_every=probe_every,
+        )
         self.rng = rng
-        self.client = client
-        self.dst = dst
-        self.rate = rate_pps
-        self.size = size
-        self.service = service if service is not None else ServiceSpec()
-        self.duration = duration
-        self.sent = 0
-        self.rejected = 0
-        self._stop_at: float | None = None
-        self._stopped = False
         #: Recycled manual timer — exponential gaps need a fresh delay
         #: per arm, so the auto-re-arm flavor does not fit.
         self._timer = self.sim.timer(self._tick)
 
+    @property
+    def _packet_rate(self) -> float:
+        """The rate actually sent as packets (probes in fluid mode)."""
+        if self.fluid is not None:
+            return self.rate / self.probe_every
+        return self.rate
+
     def start(self, delay: float = 0.0) -> "PoissonSource":
-        if self.duration is not None:
-            self._stop_at = self.sim.now + delay + self.duration
-        self._timer.reschedule(delay + self.rng.expovariate(self.rate))
+        self._arm_stop(delay)
+        if self.fluid is not None:
+            self._start_fluid(delay)
+            if self.probe_every > 0:
+                self._timer.reschedule(
+                    delay + self.rng.expovariate(self._packet_rate)
+                )
+        else:
+            self._timer.reschedule(delay + self.rng.expovariate(self.rate))
         return self
 
-    def stop(self) -> None:
-        self._stopped = True
+    def _cancel_timer(self) -> None:
         self._timer.cancel()
 
     def _tick(self) -> None:
         if self._stopped:
             return
-        if self._stop_at is not None and self.sim.now >= self._stop_at:
+        if self._expired():
             return
-        if self.client.send(self.dst, size=self.size, service=self.service):
-            self.sent += 1
-        else:
-            self.rejected += 1
-        self._timer.reschedule(self.rng.expovariate(self.rate))
-
-    @property
-    def flow(self) -> str:
-        from repro.core.message import flow_id
-
-        return flow_id(self.client.address, self.dst, self.service)
+        self._send_one()
+        self._timer.reschedule(self.rng.expovariate(self._packet_rate))

@@ -64,6 +64,8 @@ class VideoSource:
         live: bool = False,
         deadline: float = 0.2,
         service: ServiceSpec | None = None,
+        fluid=None,
+        probe_every: int = 0,
     ) -> None:
         self.overlay = overlay
         self.group = group
@@ -85,6 +87,11 @@ class VideoSource:
                 link=LINK_RELIABLE, ordered=True, deadline=deadline
             )
         rate_pps = rate_mbps * 1_000_000 / 8 / TS_PACKET_BYTES
+        # Fluid mode (hybrid flow-level runs) models the stream as a
+        # constant fluid rate with optional sampled probe packets. It
+        # requires a best-effort, unordered service — pass e.g.
+        # ``service=ServiceSpec()``; the recovery protocols above keep
+        # their per-packet semantics and are rejected by the validator.
         self.source = CbrSource(
             overlay.sim,
             self.client,
@@ -92,6 +99,8 @@ class VideoSource:
             rate_pps=rate_pps,
             size=TS_PACKET_BYTES,
             service=self.service,
+            fluid=fluid,
+            probe_every=probe_every,
         )
 
     def start(self, delay: float = 0.0) -> "VideoSource":

@@ -96,5 +96,12 @@ class OverlayConfig:
     forwarding_cache_size: int = 65_536
     control_fastpath: bool = True
     audit: bool = False
+    #: Settle fluid rate intervals into the per-node FlowTables (the
+    #: classify stage's fluid half), so operators see one aggregate
+    #: packet+fluid view. Disable for very large fluid fleets (hundreds
+    #: of thousands of flows) where per-node flow entries dominate
+    #: memory; delivery/latency statistics are unaffected. Irrelevant
+    #: when no fluid engine is attached.
+    fluid_flow_accounting: bool = True
     #: Extra per-protocol defaults, e.g. {"nm-strikes": {"n": 3, "m": 2}}.
     protocol_defaults: dict = field(default_factory=dict)

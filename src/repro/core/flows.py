@@ -36,6 +36,11 @@ class FlowEntry:
     last_seen: float
     messages: int = 0
     bytes: int = 0
+    #: Modeled (fluid) traffic volumes settled onto this flow entry per
+    #: rate interval — fractional, kept apart from the per-packet
+    #: integer counters above.
+    fluid_messages: float = 0.0
+    fluid_bytes: float = 0.0
     #: How this node has touched the flow: any of {"origin",
     #: "forwarded", "delivered"}.
     roles: set = field(default_factory=set)
@@ -44,6 +49,13 @@ class FlowEntry:
         self.last_seen = now
         self.messages += 1
         self.bytes += msg.size
+        self.roles.add(role)
+
+    def touch_fluid(self, now: float, role: str, messages: float,
+                    nbytes: float) -> None:
+        self.last_seen = now
+        self.fluid_messages += messages
+        self.fluid_bytes += nbytes
         self.roles.add(role)
 
 
@@ -74,16 +86,48 @@ class FlowTable:
         entry.touch(msg, now, role)
         return entry
 
+    def observe_fluid(
+        self,
+        flow: str,
+        src_node: str,
+        dst: str,
+        service: ServiceSpec,
+        now: float,
+        role: str,
+        messages: float,
+        nbytes: float,
+    ) -> FlowEntry:
+        """Settle one fluid rate interval's volume into the flow's entry
+        (created on first sight) — the fluid half of :meth:`observe`,
+        fed by the data-plane pipeline's *classify* stage only."""
+        entry = self._entries.get(flow)
+        if entry is None:
+            entry = FlowEntry(
+                flow=flow,
+                src_node=src_node,
+                dst=dst,
+                service=service,
+                first_seen=now,
+                last_seen=now,
+            )
+            self._entries[flow] = entry
+            if len(self._entries) > self.capacity:
+                self.expire(now)
+        entry.touch_fluid(now, role, messages, nbytes)
+        return entry
+
     # ------------------------------------------------------------ views
 
     def entry(self, flow: str) -> FlowEntry | None:
         return self._entries.get(flow)
 
     def active(self, now: float) -> list[FlowEntry]:
-        """Flows seen within the idle timeout, busiest first."""
+        """Flows seen within the idle timeout, busiest first (packet
+        plus modeled fluid volume; identical ordering when fluid mode
+        is off, since every fluid counter is then zero)."""
         horizon = now - self.idle_timeout
         live = [e for e in self._entries.values() if e.last_seen >= horizon]
-        return sorted(live, key=lambda e: (-e.bytes, e.flow))
+        return sorted(live, key=lambda e: (-(e.bytes + e.fluid_bytes), e.flow))
 
     def by_node_pair(self, now: float) -> dict[tuple[str, str], dict]:
         """Aggregate flows by (source node, destination) — the transit
@@ -100,11 +144,15 @@ class FlowTable:
         result: dict = {}
         for entry in self.active(now):
             bucket = result.setdefault(
-                key(entry), {"flows": 0, "messages": 0, "bytes": 0}
+                key(entry),
+                {"flows": 0, "messages": 0, "bytes": 0,
+                 "fluid_messages": 0.0, "fluid_bytes": 0.0},
             )
             bucket["flows"] += 1
             bucket["messages"] += entry.messages
             bucket["bytes"] += entry.bytes
+            bucket["fluid_messages"] += entry.fluid_messages
+            bucket["fluid_bytes"] += entry.fluid_bytes
         return result
 
     # --------------------------------------------------------- lifecycle

@@ -138,6 +138,13 @@ class OverlayLink:
         #: the rest is control: hellos, LSU/GSU floods, acks).
         self.data_bytes_sent = 0
         self.data_frames_sent = 0
+        #: Fluid bulk traffic currently riding this link direction
+        #: (bytes/s), maintained by the fluid engine at each re-solve —
+        #: zero whenever fluid mode is off.
+        self.fluid_rate_bps = 0.0
+        #: Fluid bytes settled onto this link direction so far (the
+        #: fluid analogue of ``data_bytes_sent``).
+        self.fluid_bytes_sent = 0.0
 
         self._hello_seq = {name: 0 for name in self.carriers}
         self._rx = {name: _CarrierMonitor() for name in self.carriers}
@@ -372,6 +379,13 @@ class OverlayLink:
         self._last_switch = self.sim.now
         self.carrier_idx = idx
         self.switch_count += 1
+        # A carrier switch moves this link's fluid traffic onto a
+        # different underlay path — a fluid re-solve boundary (rare;
+        # the listener list is empty whenever fluid mode is off, and
+        # unit tests drive bare links with no underlay at all).
+        internet = self.internet
+        if internet is not None and internet.fluid_listeners:
+            internet._poke_fluid("carrier-switch")
 
     # ------------------------------------------------------------- cost
 

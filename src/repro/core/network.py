@@ -107,6 +107,11 @@ class OverlayNetwork:
             a, b = self.link_index.pair(bit)
             self._wire_link(a, b, bit, carriers)
         self._next_auto_port = 50_000
+        #: Lazily constructed fluid traffic engine (hybrid flow-level
+        #: mode, :mod:`repro.core.fluid`); ``None`` until first use, in
+        #: which case the packet timeline is byte-identical to a build
+        #: without fluid support.
+        self._fluid = None
 
     def _wire_link(self, a: str, b: str, bit: int, carriers: dict | None) -> None:
         node_a, node_b = self.nodes[a], self.nodes[b]
@@ -188,6 +193,19 @@ class OverlayNetwork:
         """The overlay daemon deployed at ``node_id``."""
         return self.nodes[node_id]
 
+    # ------------------------------------------------------------- fluid
+
+    def fluid_engine(self):
+        """The overlay's fluid traffic engine
+        (:class:`repro.core.fluid.FluidEngine`), created and registered
+        on the underlay on first use. Until this is called, the overlay
+        runs pure packet-level with zero fluid overhead."""
+        if self._fluid is None:
+            from repro.core.fluid import FluidEngine
+
+            self._fluid = FluidEngine(self)
+        return self._fluid
+
     # --------------------------------------------------------- adversary
 
     def compromise(self, node_id: str, behavior) -> None:
@@ -235,12 +253,15 @@ class OverlayNetwork:
                 "flows_by_service": node.flows.by_service(self.sim.now),
                 "fwd_decisions": len(node.pipeline.cache),
             }
-        return {
+        snapshot = {
             "time": self.sim.now,
             "converged": self.converged(),
             "nodes": nodes,
             "counters": self.counters.as_dict(),
         }
+        if self._fluid is not None:
+            snapshot["fluid"] = self._fluid.summary()
+        return snapshot
 
     def format_status(self) -> str:
         """The :meth:`status` snapshot as readable text."""

@@ -128,14 +128,22 @@ class OverlayNode:
         self._lsu_seq += 1
         costs = {nbr: link.cost() for nbr, link in self.links.items()}
         self._advertised = dict(costs)
+        fluid = self.network.internet.fluid_listeners
+        before = self.topo_db.fingerprint if fluid else 0
         self.topo_db.update(self.id, self._lsu_seq, costs)
+        if fluid and self.topo_db.fingerprint != before:
+            self.network.internet._poke_fluid("lsu")
         self._flood("lsu", {"origin": self.id, "seq": self._lsu_seq, "costs": costs})
 
     def originate_gsu(self) -> None:
         """Flood this node's group-interest record (Group State)."""
         self._gsu_seq += 1
         groups = sorted(self.session.local_groups())
+        fluid = self.network.internet.fluid_listeners
+        before = self.group_db.fingerprint if fluid else 0
         self.group_db.update(self.id, self._gsu_seq, groups)
+        if fluid and self.group_db.fingerprint != before:
+            self.network.internet._poke_fluid("gsu")
         self._flood("gsu", {"origin": self.id, "seq": self._gsu_seq, "groups": groups})
 
     def _flood(self, ftype: str, info: dict, exclude: str | None = None) -> None:
@@ -231,11 +239,23 @@ class OverlayNode:
                 link.on_hello(frame.info)
         elif frame.ftype == "lsu":
             info = frame.info
+            fluid = self.network.internet.fluid_listeners
+            before = self.topo_db.fingerprint if fluid else 0
             if self.topo_db.update(info["origin"], info["seq"], info["costs"]):
+                # Content (not just version) moved: the forwarding-cache
+                # generation this node's fluid path assignments were
+                # resolved under is stale — same invalidation moment the
+                # packet pipeline sees (a fluid re-solve boundary).
+                if fluid and self.topo_db.fingerprint != before:
+                    self.network.internet._poke_fluid("lsu")
                 self._flood("lsu", info, exclude=frame.src_node)
         elif frame.ftype == "gsu":
             info = frame.info
+            fluid = self.network.internet.fluid_listeners
+            before = self.group_db.fingerprint if fluid else 0
             if self.group_db.update(info["origin"], info["seq"], info["groups"]):
+                if fluid and self.group_db.fingerprint != before:
+                    self.network.internet._poke_fluid("gsu")
                 self._flood("gsu", info, exclude=frame.src_node)
         else:
             self.counters.add("unknown-control")

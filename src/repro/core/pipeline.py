@@ -239,6 +239,30 @@ class DataPlane:
         — the single place flow state is touched."""
         return self.flows.observe(msg, self.sim.now, role)
 
+    def classify_fluid(self, flow: str, src_node: str, dst: str, service,
+                       role: str, messages: float, nbytes: float):
+        """*classify* stage for fluid traffic: the fluid engine settles
+        each rate interval into the same per-node flow table packets
+        feed, so operators see one aggregate view. Counts are modeled
+        (fractional) message/byte volumes, not per-packet events."""
+        return self.flows.observe_fluid(
+            flow, src_node, dst, service, self.sim.now, role, messages, nbytes
+        )
+
+    # ------------------------------------------------------ fluid decide
+
+    def fluid_next_hop(self, dst_node: str) -> str | None:
+        """Decide-stage entry for the fluid engine's path walk: the
+        *same* memoized unicast decision packets use, so fluid path
+        assignments hit, miss, and invalidate with the ForwardingCache
+        generation exactly as packet decisions do."""
+        return self._next_hop(dst_node)
+
+    def fluid_multicast_children(self, origin: str, group: str) -> tuple:
+        """Decide-stage entry for fluid multicast tree walks (cached
+        per generation like the packet path's)."""
+        return self._multicast_children(origin, group)
+
     # ------------------------------------------------------------ decide
 
     def _run(

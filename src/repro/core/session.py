@@ -112,12 +112,23 @@ class SessionManager:
             raise ValueError(f"port {port} already in use on {self.node.id}")
         endpoint = ClientEndpoint(port, on_message)
         self.clients[port] = endpoint
+        self._poke_fluid()
         return endpoint
 
     def unregister(self, port: int) -> None:
         endpoint = self.clients.pop(port, None)
         if endpoint is not None and endpoint.groups:
             self.node.originate_gsu()
+        self._poke_fluid()
+
+    def _poke_fluid(self) -> None:
+        """Local endpoint/membership changes move fluid delivery plans
+        (which endpoints a flow's weight lands on) without necessarily
+        moving the shared group fingerprint — a re-solve boundary. The
+        listener list is empty whenever fluid mode is off."""
+        internet = self.node.network.internet
+        if internet.fluid_listeners:
+            internet._poke_fluid("membership")
 
     # ------------------------------------------------------ group state
 
@@ -128,11 +139,15 @@ class SessionManager:
         self.clients[port].groups.add(group)
         if not had:
             self.node.originate_gsu()
+        else:
+            self._poke_fluid()
 
     def leave(self, port: int, group: str) -> None:
         self.clients[port].groups.discard(group)
         if not self.has_members(group):
             self.node.originate_gsu()
+        else:
+            self._poke_fluid()
 
     def local_groups(self) -> set[str]:
         groups: set[str] = set()

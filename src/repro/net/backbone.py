@@ -74,6 +74,11 @@ class FiberLink:
         self.bytes_carried = 0
         self.packets_carried = 0
         self.packets_dropped = 0
+        #: Fluid traffic carried across the fiber (settled analytically
+        #: by the fluid engine per rate interval — kept separate from
+        #: the per-packet counters above so the two accounting domains
+        #: never mix).
+        self.fluid_bytes = 0.0
 
     def traverse(
         self, now: float, wire_bytes: int, direction: int, rng: random.Random

@@ -112,6 +112,18 @@ class Internet:
         #: against it and re-fetch when stale.
         self.channel_gen = 0
         self._channels: dict[tuple[str, str, str], Channel] = {}
+        #: Fluid engines (:class:`repro.core.fluid.FluidEngine`) whose
+        #: rate intervals depend on this underlay. Empty (the default)
+        #: costs one truthiness check on the rare mutation paths below —
+        #: the fluid-off packet path is untouched.
+        self.fluid_listeners: list = []
+
+    def _poke_fluid(self, reason: str) -> None:
+        """Tell registered fluid engines the underlay changed in a way
+        that can move fluid rates/paths (fiber fail/repair, domain
+        reconvergence) — a re-solve boundary, not a per-packet event."""
+        for engine in self.fluid_listeners:
+            engine.poke(reason)
 
     # --------------------------------------------------------- building
 
@@ -218,6 +230,23 @@ class Internet:
         domain, __, __ = self._resolve(src, dst, carrier)
         return [domain.link_on_path(u, v)[0] for u, v in zip(path, path[1:])]
 
+    def fluid_route(
+        self, src: str, dst: str, carrier: str
+    ) -> list[tuple[FiberLink, int]] | None:
+        """The (fiber, direction) hops fluid traffic between two hosts
+        rides right now on ``carrier``, or ``None`` when the carrier's
+        tables currently have no route (fluid then delivers nothing —
+        the same outcome packets see, without per-datagram events).
+        Directions matter because fluid rate sums, like the packet
+        path's serialization queues, are per link *direction*."""
+        path = self.current_route(src, dst, carrier)
+        if path is None:
+            return None
+        if len(path) < 2:
+            return []
+        domain, __, __ = self._resolve(src, dst, carrier)
+        return [domain.link_on_path(u, v) for u, v in zip(path, path[1:])]
+
     # -------------------------------------------------------- failures
 
     def fail_fiber(self, isp: str, a: Any, b: Any) -> None:
@@ -226,11 +255,15 @@ class Internet:
         self.isps[isp].fail_link(a, b)
         if self._native is not None:
             self._native.notify_topology_changed()
+        if self.fluid_listeners:
+            self._poke_fluid("fiber-fail")
 
     def repair_fiber(self, isp: str, a: Any, b: Any) -> None:
         self.isps[isp].repair_link(a, b)
         if self._native is not None:
             self._native.notify_topology_changed()
+        if self.fluid_listeners:
+            self._poke_fluid("fiber-repair")
 
     def fail_site(self, router: Any) -> list[tuple[str, Any, Any]]:
         """A whole data center goes dark: every fiber touching
@@ -246,6 +279,8 @@ class Internet:
                     cut.append((isp_name, router, nbr))
         if self._native is not None and cut:
             self._native.notify_topology_changed()
+        if cut and self.fluid_listeners:
+            self._poke_fluid("site-fail")
         return cut
 
     def repair_site(self, cut: list[tuple[str, Any, Any]]) -> None:
@@ -254,6 +289,8 @@ class Internet:
             self.isps[isp].repair_link(a, b)
         if self._native is not None and cut:
             self._native.notify_topology_changed()
+        if cut and self.fluid_listeners:
+            self._poke_fluid("site-repair")
 
     def set_isp_loss(self, isp: str, factory: Callable[[], LossModel]) -> None:
         """Give every fiber of ``isp`` a fresh loss model from ``factory``

@@ -29,6 +29,29 @@ class LossModel:
         """Long-run stationary loss probability (for tests/reporting)."""
         raise NotImplementedError
 
+    # ------------------------------------------------------- fluid view
+
+    def fluid_rate(self, start: float, end: float) -> float:
+        """Analytic loss probability applied to fluid traffic crossing
+        the link during ``[start, end)``.
+
+        The default is the stationary expectation — exact for Bernoulli,
+        and the correct interval average for Gilbert–Elliott once the
+        interval is long against the burst timescale (the fluid
+        approximation's operating regime). Deterministic models override
+        this with the interval's true value.
+        """
+        return self.expected_loss_rate()
+
+    def next_transition(self, now: float) -> float | None:
+        """The next *deterministic* loss-state boundary after ``now``,
+        or ``None`` when the model has none. The fluid engine schedules
+        a re-solve at each boundary so piecewise-constant intervals
+        never straddle a known loss-state transition (scheduled
+        outages); stochastic models are folded in analytically instead
+        and report no boundaries."""
+        return None
+
 
 class NoLoss(LossModel):
     """A perfect link."""
@@ -152,6 +175,25 @@ class ScheduledOutages(LossModel):
         # Not stationary; report NaN so nobody misuses it.
         return math.nan
 
+    def fluid_rate(self, start: float, end: float) -> float:
+        """Exact overlap fraction of ``[start, end)`` with the outage
+        windows — deterministic models are applied exactly, not in
+        expectation."""
+        if end <= start:
+            return 0.0
+        lost = 0.0
+        for w_start, w_end in self.windows:
+            if w_start >= end:
+                break
+            lost += max(0.0, min(end, w_end) - max(start, w_start))
+        return lost / (end - start)
+
+    def next_transition(self, now: float) -> float | None:
+        """The next window edge strictly after ``now`` (fluid re-solve
+        boundary)."""
+        boundaries = [t for a, b in self.windows for t in (a, b) if t > now]
+        return min(boundaries) if boundaries else None
+
 
 class CompositeLoss(LossModel):
     """Drops when any of the component models drops."""
@@ -175,3 +217,16 @@ class CompositeLoss(LossModel):
         for model in self.models:
             keep *= 1.0 - model.expected_loss_rate()
         return 1.0 - keep
+
+    def fluid_rate(self, start: float, end: float) -> float:
+        keep = 1.0
+        for model in self.models:
+            keep *= 1.0 - model.fluid_rate(start, end)
+        return 1.0 - keep
+
+    def next_transition(self, now: float) -> float | None:
+        boundaries = [
+            t for t in (m.next_transition(now) for m in self.models)
+            if t is not None
+        ]
+        return min(boundaries) if boundaries else None
