@@ -15,13 +15,24 @@ cost, which is exactly what PR 3 attacks:
 * **fast** — the defaults: periodic timers recycle one heap entry
   across firings, datagram hop chains recycle one continuation event,
   and the hello hot path reuses its pre-bound callback / pre-resolved
-  channel / version-stamped feedback snapshot.
+  channel / version-stamped feedback snapshot;
+* **columnar** — ``Simulator(columnar=True)`` +
+  ``OverlayConfig(columnar=True)``: the event queue holds one heap
+  entry per distinct instant (a slot bucket) and the underlay
+  amortizes per-link work across same-instant crossings (see
+  DESIGN.md, "Columnar data plane").
 
-Both modes allocate event sequence numbers at identical points, so the
-delivery traces must be **byte-identical** — recycling changes where
-objects come from, never what happens. The run writes
-``BENCH_simcore.json`` next to the repo root so the perf trajectory is
-tracked from this PR onward.
+All modes allocate event sequence numbers at identical points, so the
+delivery traces must be **byte-identical** — recycling and batching
+change where objects come from and how the queue is organized, never
+what happens. The run writes ``BENCH_simcore.json`` next to the repo
+root so the perf trajectory is tracked from this PR onward.
+
+The scaling table (``SCALE_LEGS``) runs the same 64-flow CBR fleet on
+ring+chords meshes at n=100/300/1000, once per engine (packet /
+columnar / fluid), recording steady-state events/s plus the wall
+clock and event count of the link-state convergence storm each leg
+pays during warm-up.
 
 Expected shape: byte-identical traces, ``timer.fired`` ==
 ``timer.fired`` across modes, fewer live allocation blocks in fast
@@ -61,13 +72,20 @@ RATE_PPS = 20.0
 RUN_TIME = 30.0
 QUICK_RUN_TIME = 6.0
 
-#: The n=100 scaling leg: a 100-node ring+chords overlay carrying the
-#: same client fleet once packet-level and once fluid, recording
-#: events/s and wall clock for each (the hybrid engine's scaling story
-#: at a size the per-datagram engine still tolerates).
-SCALE_N = 100
-SCALE_RUN_TIME = 10.0
-SCALE_QUICK_RUN_TIME = 3.0
+#: Scaling legs: ring+chords overlays carrying the same 64-flow client
+#: fleet per-packet, columnar, and fluid, recording events/s and wall
+#: clock for each. ``(n_nodes, run_time_s, warmup_s)`` — the warm-up
+#: must outlast the link-state convergence storm, whose duration grows
+#: with the mesh diameter (~n/6 hops at 10.5 ms per hop: the n=1000
+#: flood front only dies out after ~2 simulated seconds, and carries
+#: tens of millions of events — that cost is recorded per leg as
+#: ``warm_wall_s``/``warm_events``, it is *not* part of the measured
+#: steady-state window).
+SCALE_LEGS = ((100, 10.0, 2.0), (300, 3.0, 2.0), (1000, 2.0, 2.5))
+#: CI smoke coverage: one columnar leg at n=300.
+SCALE_QUICK_LEGS = ((300, 3.0, 2.0),)
+SCALE_ENGINES = ("packet", "columnar", "fluid")
+SCALE_QUICK_ENGINES = ("columnar",)
 SCALE_FLOWS = 64
 SCALE_RATE_PPS = 5.0
 
@@ -95,13 +113,14 @@ def _mesh_internet(sim, rngs):
     return inet
 
 
-def _run_once(fast: bool, run_time: float, trace_allocs: bool = False) -> dict:
-    sim = Simulator(recycle_timers=fast)
+def _run_once(fast: bool, run_time: float, trace_allocs: bool = False,
+              columnar: bool = False) -> dict:
+    sim = Simulator(recycle_timers=fast, columnar=columnar)
     rngs = RngRegistry(SEED)
     internet = _mesh_internet(sim, rngs)
     sites = [f"n{i:02d}" for i in range(N_NODES)]
     links = [(f"n{a[1:]}", f"n{b[1:]}") for a, b in FIBERS]
-    config = OverlayConfig(control_fastpath=fast)
+    config = OverlayConfig(control_fastpath=fast, columnar=columnar)
     overlay = OverlayNetwork(internet, sites, links, config)
     overlay.warm_up(2.0)
 
@@ -155,9 +174,15 @@ def _run_once(fast: bool, run_time: float, trace_allocs: bool = False) -> dict:
     }
 
 
-def _scaling_leg(fluid: bool, n_nodes: int, run_time: float) -> dict:
-    """One n=100 leg: the same flow fleet, per-datagram or fluid."""
-    sim = Simulator()
+def _scaling_leg(engine: str, n_nodes: int, run_time: float,
+                 warmup: float) -> dict:
+    """One scaling leg: the same flow fleet on one engine —
+    ``"packet"`` (per-datagram heap events), ``"columnar"`` (slot-bucket
+    wheel + per-instant link profiles, byte-identical traces), or
+    ``"fluid"`` (flow-level rate intervals over the packet control
+    plane)."""
+    columnar = engine == "columnar"
+    sim = Simulator(columnar=columnar)
     rngs = RngRegistry(SEED)
     inet = Internet(sim, rngs)
     domain = inet.add_isp(ISP, convergence_delay=10.0)
@@ -174,9 +199,17 @@ def _scaling_leg(fluid: bool, n_nodes: int, run_time: float) -> dict:
         inet.attach(f"n{i:03d}", ISP, f"r{i:03d}")
     sites = [f"n{i:03d}" for i in range(n_nodes)]
     links = [(f"n{a[1:]}", f"n{b[1:]}") for a, b in fibers]
-    overlay = OverlayNetwork(inet, sites, links, OverlayConfig())
-    overlay.warm_up(2.0)
-    engine = overlay.fluid_engine() if fluid else None
+    overlay = OverlayNetwork(inet, sites, links,
+                             OverlayConfig(columnar=columnar))
+    warm_started = time.perf_counter()
+    overlay.warm_up(warmup)
+    warm_wall = time.perf_counter() - warm_started
+    warm_events = sim.events_processed
+    assert overlay.converged(), (
+        f"n={n_nodes} mesh not converged after {warmup}s warm-up — "
+        "the link-state storm outlasted the warm-up window"
+    )
+    fluid = overlay.fluid_engine() if engine == "fluid" else None
 
     sources = []
     for i in range(SCALE_FLOWS):
@@ -185,46 +218,69 @@ def _scaling_leg(fluid: bool, n_nodes: int, run_time: float) -> dict:
         overlay.client(sink, 7)
         sources.append(CbrSource(
             sim, overlay.client(src), Address(sink, 7),
-            rate_pps=SCALE_RATE_PPS, fluid=engine,
+            rate_pps=SCALE_RATE_PPS, fluid=fluid,
         ).start())
 
     events_before = sim.events_processed
     started = time.perf_counter()
     sim.run(until=sim.now + run_time)
-    if engine is not None:
-        engine.settle_now()
+    if fluid is not None:
+        fluid.settle_now()
     wall = time.perf_counter() - started
     events = sim.events_processed - events_before
     return {
+        "engine": engine,
         "wall_s": wall,
         "events": events,
         "events_per_s": events / wall if wall > 0 else 0.0,
+        "warm_wall_s": warm_wall,
+        "warm_events": warm_events,
     }
 
 
-def run_scaling(n_nodes: int = SCALE_N,
-                run_time: float = SCALE_RUN_TIME) -> dict:
-    """Packet vs fluid events/s on the n=100 mesh (tracked in
-    BENCH_simcore.json alongside the 16-node engine numbers)."""
-    packet = _scaling_leg(False, n_nodes, run_time)
-    fluid = _scaling_leg(True, n_nodes, run_time)
-    return {
-        "n_nodes": n_nodes,
-        "run_time_s": run_time,
-        "flows": SCALE_FLOWS,
-        "flow_rate_pps": SCALE_RATE_PPS,
-        "packet_wall_s": packet["wall_s"],
-        "packet_events": packet["events"],
-        "packet_events_per_s": packet["events_per_s"],
-        "fluid_wall_s": fluid["wall_s"],
-        "fluid_events": fluid["events"],
-        "fluid_events_per_s": fluid["events_per_s"],
-    }
+def run_scaling(quick: bool = False) -> list:
+    """The scaling table: packet vs columnar vs fluid events/s on
+    ring+chords meshes at n=100/300/1000 (tracked in BENCH_simcore.json
+    alongside the 16-node engine numbers). Quick mode runs the CI
+    smoke subset — the n=300 columnar leg."""
+    legs = SCALE_QUICK_LEGS if quick else SCALE_LEGS
+    engines = SCALE_QUICK_ENGINES if quick else SCALE_ENGINES
+    table = []
+    for n_nodes, run_time, warmup in legs:
+        entry = {
+            "n_nodes": n_nodes,
+            "run_time_s": run_time,
+            "warmup_s": warmup,
+            "flows": SCALE_FLOWS,
+            "flow_rate_pps": SCALE_RATE_PPS,
+            "engines": {},
+        }
+        for engine in engines:
+            entry["engines"][engine] = _scaling_leg(
+                engine, n_nodes, run_time, warmup)
+        table.append(entry)
+    return table
+
+
+def _scaling_summary(table: list) -> dict:
+    """Cross-leg ratios the acceptance gates track."""
+    by_n = {entry["n_nodes"]: entry["engines"] for entry in table}
+    summary = {}
+    packet300 = by_n.get(300, {}).get("packet")
+    col1000 = by_n.get(1000, {}).get("columnar")
+    if packet300 and col1000:
+        summary["columnar_n1000_vs_packet_n300"] = (
+            col1000["events_per_s"] / packet300["events_per_s"])
+    for n_nodes, engines in by_n.items():
+        if "packet" in engines and "columnar" in engines:
+            summary[f"columnar_vs_packet_n{n_nodes}"] = (
+                engines["columnar"]["events_per_s"]
+                / engines["packet"]["events_per_s"])
+    return summary
 
 
 def run_simcore(run_time: float = RUN_TIME, alloc_time: float = 4.0,
-                repeats: int = 3,
-                scale_time: float = SCALE_RUN_TIME) -> dict:
+                repeats: int = 3, quick: bool = False) -> dict:
     # Timing legs first (no tracemalloc — it would dominate the cost),
     # then short instrumented legs for the allocation story. Wall time
     # is best-of-``repeats``, legs interleaved, so an OS scheduling
@@ -241,8 +297,23 @@ def run_simcore(run_time: float = RUN_TIME, alloc_time: float = 4.0,
         "both modes must fire the same periodic timers the same "
         "number of times"
     )
+    # The columnar data plane must be invisible in behaviour at n=16:
+    # byte-identical deliveries, identical timer firings, and (gated
+    # softly in _check_shape) no wall-clock regression against the
+    # per-packet fast path.
+    columnar = _run_once(True, run_time, columnar=True)
+    assert_identical(
+        columnar["deliveries"], baseline["deliveries"], label="deliveries",
+        header="columnar data plane changed behaviour — delivery traces "
+        "must be byte-identical with columnar=False",
+    )
+    assert columnar["timer_fired"] == baseline["timer_fired"], (
+        "the slot-bucket wheel must fire the same periodic timers the "
+        "same number of times as the heap engine"
+    )
     base_wall = baseline["wall_s"]
     fast_wall = fast["wall_s"]
+    col_wall = columnar["wall_s"]
     for _ in range(repeats - 1):
         again = _run_once(False, run_time)
         assert_identical(again["deliveries"], baseline["deliveries"],
@@ -254,11 +325,18 @@ def run_simcore(run_time: float = RUN_TIME, alloc_time: float = 4.0,
                          label="deliveries",
                          header="fast repeat run diverged from the baseline")
         fast_wall = min(fast_wall, again["wall_s"])
+        again = _run_once(True, run_time, columnar=True)
+        assert_identical(again["deliveries"], baseline["deliveries"],
+                         label="deliveries",
+                         header="columnar repeat run diverged from the "
+                         "baseline")
+        col_wall = min(col_wall, again["wall_s"])
     alloc_baseline = _run_once(False, alloc_time, trace_allocs=True)
     alloc_fast = _run_once(True, alloc_time, trace_allocs=True)
-    scaling = run_scaling(run_time=scale_time)
+    scaling = run_scaling(quick=quick)
     return {
-        "scaling_n100": scaling,
+        "scaling": scaling,
+        "scaling_summary": _scaling_summary(scaling),
         "run_time_s": run_time,
         "delivered_msgs": len(fast["deliveries"]),
         "events": fast["events"],
@@ -267,6 +345,8 @@ def run_simcore(run_time: float = RUN_TIME, alloc_time: float = 4.0,
         "speedup": base_wall / fast_wall,
         "baseline_events_per_s": baseline["events"] / base_wall,
         "fast_events_per_s": fast["events"] / fast_wall,
+        "columnar_wall_s": col_wall,
+        "columnar_events_per_s": columnar["events"] / col_wall,
         "timer_fired": fast["timer_fired"],
         "timer_rearmed": fast["timer_rearmed"],
         "baseline_alloc_blocks": alloc_baseline["alloc_blocks"],
@@ -293,14 +373,24 @@ def _check_shape(result: dict) -> None:
     # Timing shape (soft here; the >= 1.4x gate is asserted by full
     # `__main__` runs where the machine is not doing anything else).
     assert result["fast_wall_s"] <= result["baseline_wall_s"] * 1.1, result
-    # n=100 scaling leg: the fluid run modeled the same client fleet
-    # with strictly fewer events than the per-datagram run.
-    scaling = result["scaling_n100"]
-    assert scaling["fluid_events"] < scaling["packet_events"], result
+    # Columnar no-regression at n=16 (soft, same machine-noise caveat).
+    assert result["columnar_wall_s"] <= result["fast_wall_s"] * 1.15, result
+    # Scaling legs: wherever a fluid leg ran next to a packet leg, the
+    # fluid run modeled the same client fleet with strictly fewer
+    # events than the per-datagram run.
+    for entry in result["scaling"]:
+        engines = entry["engines"]
+        if "fluid" in engines and "packet" in engines:
+            assert engines["fluid"]["events"] < engines["packet"]["events"], (
+                entry)
 
 
 def bench_simcore(benchmark):
-    result = run_experiment(benchmark, run_simcore)
+    # The pytest-benchmark path keeps the full 16-node engine legs but
+    # the quick scaling subset — the n=1000 legs (minutes of link-state
+    # warm-up each) are only run by explicit full `__main__` runs.
+    result = run_experiment(
+        benchmark, lambda: run_simcore(quick=True))
     print_table(
         "Simulator core, steady-state 16-node overlay "
         f"({result['delivered_msgs']} identical deliveries both modes)",
@@ -310,19 +400,20 @@ def bench_simcore(benchmark):
              result["baseline_events_per_s"], result["baseline_alloc_blocks"]),
             ("recycled + fast path", result["fast_wall_s"],
              result["fast_events_per_s"], result["fast_alloc_blocks"]),
+            ("columnar", result["columnar_wall_s"],
+             result["columnar_events_per_s"], "-"),
         ],
     )
-    scaling = result["scaling_n100"]
-    print_table(
-        f"Scaling leg: n={scaling['n_nodes']} mesh, {scaling['flows']} flows",
-        ["mode", "wall s", "events", "events/s"],
-        [
-            ("packet", scaling["packet_wall_s"], scaling["packet_events"],
-             scaling["packet_events_per_s"]),
-            ("fluid", scaling["fluid_wall_s"], scaling["fluid_events"],
-             scaling["fluid_events_per_s"]),
-        ],
-    )
+    for entry in result["scaling"]:
+        print_table(
+            f"Scaling leg: n={entry['n_nodes']} mesh, "
+            f"{entry['flows']} flows",
+            ["engine", "wall s", "events", "events/s"],
+            [
+                (engine, leg["wall_s"], leg["events"], leg["events_per_s"])
+                for engine, leg in entry["engines"].items()
+            ],
+        )
     print_table(
         "Timer engine counters (fast mode)",
         ["counter", "value"],
@@ -347,10 +438,9 @@ if __name__ == "__main__":
     args = parser.parse_args()
     enable_audit(args.audit)
     run_time = QUICK_RUN_TIME if args.quick else RUN_TIME
-    scale_time = SCALE_QUICK_RUN_TIME if args.quick else SCALE_RUN_TIME
     result = maybe_profile(args.profile, run_simcore, run_time=run_time,
                            repeats=1 if args.quick else 3,
-                           scale_time=scale_time)
+                           quick=args.quick)
     for key, value in result.items():
         print(f"{key}: {value:.3f}" if isinstance(value, float) else f"{key}: {value}")
     _check_shape(result)

@@ -131,7 +131,7 @@ def build_overlay(lossy: bool = False,
     Gilbert–Elliott loss (stationary expectation ~2.4%), so calibration
     also exercises the analytic loss path.
     """
-    sim = Simulator()
+    sim = Simulator(columnar=config.columnar if config is not None else False)
     rngs = RngRegistry(SEED)
     inet = Internet(sim, rngs)
     domain = inet.add_isp(ISP, convergence_delay=10.0)

@@ -169,14 +169,20 @@ class Auditor:
 # ------------------------------------------------------- heap invariants
 
 def _scan_heap(sim) -> tuple[int, int]:
-    """Directly count (live, dead) entries in the simulator's queue."""
+    """Directly count (live, dead) entries in the simulator's queue.
+
+    Uses :meth:`~repro.sim.events.Simulator.iter_queued`, which
+    normalizes over the engine modes: legacy per-event entries, recycled
+    entries, and columnar slot buckets (where a dead record is either a
+    cancelled event or a *stale* one — a record whose event has since
+    been rescheduled under a fresh seq).
+    """
     live = dead = 0
-    for entry in sim._queue:
-        event = entry[2] if sim._recycle else entry
-        if event._cancelled:
-            dead += 1
-        else:
+    for __, is_live in sim.iter_queued():
+        if is_live:
             live += 1
+        else:
+            dead += 1
     return live, dead
 
 
@@ -217,10 +223,7 @@ def check_teardown(sim, auditor: Auditor) -> bool:
     particular, no recycled periodic timer may have re-armed itself
     past the teardown (the leak the ``clear()``-during-callback fix in
     ``sim/events.py`` closes)."""
-    leaked = [
-        entry[2] if sim._recycle else entry
-        for entry in sim._queue
-    ]
+    leaked = [event for event, __ in sim.iter_queued()]
     periodic = [event for event in leaked if event.periodic]
     return auditor.check(
         "teardown-leak",
@@ -238,9 +241,8 @@ def _in_flight_datagrams(internet) -> int:
     one is exactly one datagram currently walking its hop chain."""
     sim = internet.sim
     count = 0
-    for entry in sim._queue:
-        event = entry[2] if sim._recycle else entry
-        if event._cancelled:
+    for event, is_live in sim.iter_queued():
+        if not is_live:
             continue
         fn = event.fn
         if getattr(fn, "__self__", None) is internet and \

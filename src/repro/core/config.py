@@ -96,6 +96,22 @@ class OverlayConfig:
     forwarding_cache_size: int = 65_536
     control_fastpath: bool = True
     audit: bool = False
+    #: Columnar data plane: run over a simulator in columnar mode
+    #: (``Simulator(columnar=True)``), where the event queue keeps one
+    #: heap entry per distinct instant (a slot bucket) and the underlay
+    #: amortizes each link's per-instant work across all same-instant
+    #: crossings (:meth:`repro.net.backbone.FiberLink.instant_profile`).
+    #: Traces are byte-identical to ``columnar=False``; builders pass
+    #: this to the Simulator they construct, and
+    #: :class:`repro.core.network.OverlayNetwork` rejects a mismatch
+    #: between this flag and the simulator it is deployed on.
+    columnar: bool = False
+    #: Epsilon coalescing window (seconds) for the columnar data plane:
+    #: when > 0, link-hop arrivals are quantized *up* to the window grid
+    #: so near-simultaneous crossings share slot buckets. An explicit
+    #: approximation knob (latency inflation bounded by the window per
+    #: hop) — byte-identical traces are only claimed at 0.0.
+    columnar_window: float = 0.0
     #: Settle fluid rate intervals into the per-node FlowTables (the
     #: classify stage's fluid half), so operators see one aggregate
     #: packet+fluid view. Disable for very large fluid fleets (hundreds

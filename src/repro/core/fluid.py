@@ -112,7 +112,7 @@ class FluidFlow:
     __slots__ = (
         "flow", "origin", "src", "dst", "dst_label", "service", "size",
         "rate", "active", "offered", "deliveries", "frame_wire",
-        "dgram_wire", "started_at", "stopped_at",
+        "dgram_wire", "started_at", "stopped_at", "_carry",
     )
 
     def __init__(self, origin: str, src: Address, dst: Address,
@@ -126,8 +126,16 @@ class FluidFlow:
         self.size = size
         self.rate = rate_pps
         self.active = False
-        #: Modeled messages offered so far (fractional).
+        #: Modeled messages offered so far — settled in *integer*
+        #: message units at interval boundaries: each settlement floors
+        #: ``rate * dt`` plus the carried sub-message remainder, and the
+        #: fractional part carries into the next interval. Whole counts
+        #: are exact floats (no ``0.9999...`` drift after millions of
+        #: messages); only the trailing sub-message remainder at flow
+        #: stop stays unoffered.
         self.offered = 0.0
+        #: Sub-message remainder carried between settlements.
+        self._carry = 0.0
         #: Per destination label: ``[delivered_total, [[weight, latency], ...]]``.
         self.deliveries: dict[str, list] = {}
         #: Overlay frame bytes per modeled message (what an OverlayLink
@@ -387,7 +395,15 @@ class FluidEngine:
             flow = self.flows.get(fid)
             if flow is None or flow.rate <= 0:
                 continue
-            offered = flow.rate * dt
+            # Integerize at the boundary: offer whole messages, carry
+            # the fractional remainder forward. The 1e-9 guard absorbs
+            # the multiply's rounding so an exact-looking 2.9999...97
+            # still offers 3 (the drift this scheme exists to kill).
+            raw = flow.rate * dt + flow._carry
+            offered = float(int(raw + 1e-9))
+            flow._carry = raw - offered
+            if offered <= 0.0:
+                continue
             flow.offered += offered
             total_offered += offered
             size = float(flow.size)

@@ -54,6 +54,16 @@ class OverlayNetwork:
         self.sim = internet.sim
         self.rngs = internet.rngs
         self.config = config if config is not None else OverlayConfig()
+        if self.config.columnar != self.sim.columnar:
+            raise ValueError(
+                "config.columnar={} but the simulator was built with "
+                "columnar={} — construct the Simulator with the same "
+                "columnar flag as the OverlayConfig".format(
+                    self.config.columnar, self.sim.columnar
+                )
+            )
+        if self.config.columnar:
+            internet.columnar_window = self.config.columnar_window
         self.trace = TraceCollector()
         self.counters = Counter()
         #: The runtime invariant auditor (:mod:`repro.audit`), armed by

@@ -42,6 +42,42 @@ allocating a fresh one-shot :class:`Event` per tick, queued directly
 and compared via ``__lt__`` — the pre-recycling behaviour, kept as the
 benchmark baseline. Both modes allocate sequence numbers at identical
 points, so they produce byte-identical traces.
+
+Columnar mode: the timer wheel
+------------------------------
+
+A 1000-node overlay carries thousands of periodic control timers whose
+firings cluster on a handful of *shared instants* (every hello tick
+lands on the same ``k * hello_interval`` float, every datagram arrival
+on the same ``tick + link_delay``). ``Simulator(columnar=True)``
+exploits that: the heap holds **one entry per distinct timestamp** —
+``(time, first_seq, bucket)`` — and each bucket is the *slot* of that
+instant, a plain list of ``(seq, event)`` records in append order.
+Scheduling into an existing slot is a dict hit plus a list append
+instead of an O(log n) heap sift; popping one slot fires every event
+of that instant.
+
+Determinism is preserved exactly, not approximately:
+
+* ``seq`` allocation is monotone and every enqueue appends immediately,
+  so bucket order *is* ``seq`` order — draining a slot front-to-back
+  replays the ``(time, seq)`` heap order byte for byte;
+* the accepting slot is detached from the wheel before draining, so a
+  callback scheduling at the *current* instant opens a fresh bucket
+  that fires after the one being drained — exactly where its larger
+  ``seq`` would have placed it in the heap;
+* ``reschedule`` of a queued timer does not remove its record (that
+  would be O(n)); it allocates a fresh ``seq`` and appends a new
+  record, and the drain loop skips any record whose ``seq`` no longer
+  matches its event — seqs are never reused, so a stale record can
+  never shadow a live one.
+
+The run loop exposes the slot being drained (``_drain_bucket``) so the
+internet's data plane can recognize same-instant work: the first link
+crossing in a slot computes the link's instant profile (shared loss
+state, outage scan, arrival arithmetic) and every later crossing in the
+slot reuses it. Columnar mode requires ``recycle_timers=True`` and
+produces byte-identical traces to both other engine modes.
 """
 
 from __future__ import annotations
@@ -185,7 +221,22 @@ class PeriodicEvent(Event):
             raise SimulationError("auto-re-arming timers need a positive interval")
         sim = self._sim
         self.interval = interval
-        if sim._recycle:
+        if sim._columnar:
+            if self._queued and not self._cancelled:
+                # The old record stays in its slot but turns stale the
+                # moment this timer gets a fresh seq below — the drain
+                # loop skips records whose seq no longer matches, so
+                # count it dead now. (A cancelled record was already
+                # counted dead by _on_cancel.)
+                sim._live -= 1
+                sim._dead += 1
+            self._cancelled = False
+            self.time = sim._now + interval
+            self.seq = sim._seq
+            sim._seq += 1
+            self._queued = True
+            sim._enqueue(self.time, self.seq, self)
+        elif sim._recycle:
             if self._queued:
                 # Remove BEFORE clearing _cancelled so the live/dead
                 # accounting matches how the entry was counted.
@@ -251,18 +302,39 @@ class Simulator:
             original run loop and event comparison — as the measured
             baseline of ``bench_simcore``, with identical event
             ordering and byte-identical traces.
+        columnar: When True, the heap holds one entry per distinct
+            timestamp (a *slot*) and same-instant events share the
+            slot's bucket — the timer-wheel engine for thousand-node
+            overlays (see the module docstring). Requires
+            ``recycle_timers=True``; byte-identical traces.
     """
 
-    def __init__(self, recycle_timers: bool = True) -> None:
+    def __init__(self, recycle_timers: bool = True, columnar: bool = False) -> None:
+        if columnar and not recycle_timers:
+            raise SimulationError("columnar mode requires recycle_timers=True")
         self._now = 0.0
         #: Recycling mode queues (time, seq, event) triples (C-level
-        #: heap ordering); legacy mode queues the events themselves.
+        #: heap ordering); legacy mode queues the events themselves;
+        #: columnar mode queues (time, first_seq, bucket) slots where
+        #: each bucket is a list of (seq, event) records in seq order.
         self._queue: list = []
         self._seq = 0
         self._running = False
         self._processed = 0
         self._live = 0  # queued events that are not cancelled
-        self._dead = 0  # queued events that are cancelled (lazy deletes)
+        self._dead = 0  # queued entries that are cancelled or stale
+        self._columnar = columnar
+        #: Columnar mode: time -> the slot currently accepting appends
+        #: for that instant (detached when the slot starts draining).
+        self._wheel: dict[float, list] | None = {} if columnar else None
+        #: Columnar mode: physical (seq, event) records queued across
+        #: all slots — the compaction denominator (len(_queue) counts
+        #: slots, not events, in this mode).
+        self._entries = 0
+        #: Columnar mode: the slot currently being drained — the
+        #: internet's data plane keys its per-(slot, link) instant
+        #: profile memo on this bucket's identity.
+        self._drain_bucket: list | None = None
         #: Teardown epoch: bumped by clear(). A periodic timer firing
         #: while clear() runs is not in the queue, so the cancellation
         #: sweep cannot reach it — the run loop compares this epoch
@@ -286,6 +358,11 @@ class Simulator:
         return self._recycle
 
     @property
+    def columnar(self) -> bool:
+        """Whether the slot-bucket (timer wheel) engine is enabled."""
+        return self._columnar
+
+    @property
     def events_processed(self) -> int:
         """Number of events that have fired so far."""
         return self._processed
@@ -299,6 +376,19 @@ class Simulator:
         """Aggregate periodic-timer counters, keyed ``timer.*``."""
         return {"timer.fired": self.timer_fired, "timer.rearmed": self.timer_rearmed}
 
+    def _enqueue(self, time: float, seq: int, event: Event) -> None:
+        """Columnar enqueue: append to the instant's accepting slot, or
+        open a new slot (one heap entry per distinct timestamp)."""
+        wheel = self._wheel
+        bucket = wheel.get(time)
+        if bucket is None:
+            wheel[time] = bucket = [(seq, event)]
+            heapq.heappush(self._queue, (time, seq, bucket))
+        else:
+            bucket.append((seq, event))
+        self._live += 1
+        self._entries += 1
+
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
@@ -311,7 +401,18 @@ class Simulator:
         event = Event(time, seq, fn, args, sim=self)
         event._queued = True
         self._seq = seq + 1
-        heapq.heappush(self._queue, (time, seq, event))
+        if self._columnar:
+            # Inlined _enqueue: this is the hottest allocation site.
+            wheel = self._wheel
+            bucket = wheel.get(time)
+            if bucket is None:
+                wheel[time] = bucket = [(seq, event)]
+                heapq.heappush(self._queue, (time, seq, bucket))
+            else:
+                bucket.append((seq, event))
+            self._entries += 1
+        else:
+            heapq.heappush(self._queue, (time, seq, event))
         self._live += 1
         return event
 
@@ -324,6 +425,9 @@ class Simulator:
         event = self._event_cls(time, self._seq, fn, args, sim=self)
         event._queued = True
         self._seq += 1
+        if self._columnar:
+            self._enqueue(time, event.seq, event)
+            return event
         if self._recycle:
             heapq.heappush(self._queue, (time, event.seq, event))
         else:
@@ -354,7 +458,10 @@ class Simulator:
             self._now + delay, self._seq, fn, args, self, interval, auto=True
         )
         self._seq += 1
-        if self._recycle:
+        if self._columnar:
+            event._queued = True
+            self._enqueue(event.time, event.seq, event)
+        elif self._recycle:
             event._queued = True
             heapq.heappush(self._queue, (event.time, event.seq, event))
             self._live += 1
@@ -397,6 +504,19 @@ class Simulator:
             event.args = args
         event._cancelled = False
         event._queued = True
+        if self._columnar:
+            # Inlined _enqueue: the datagram hop chain repushes here
+            # once per hop, and crossings cluster on shared instants.
+            wheel = self._wheel
+            bucket = wheel.get(time)
+            if bucket is None:
+                wheel[time] = bucket = [(seq, event)]
+                heapq.heappush(self._queue, (time, seq, bucket))
+            else:
+                bucket.append((seq, event))
+            self._live += 1
+            self._entries += 1
+            return event
         if self._recycle:
             heapq.heappush(self._queue, (time, seq, event))
         else:
@@ -411,15 +531,36 @@ class Simulator:
         compact the heap once dead entries dominate."""
         self._live -= 1
         self._dead += 1
-        if (
-            self._dead * 2 > len(self._queue)
-            and len(self._queue) >= COMPACT_MIN_QUEUE
-        ):
+        size = self._entries if self._columnar else len(self._queue)
+        if self._dead * 2 > size and size >= COMPACT_MIN_QUEUE:
             self._compact()
 
     def _compact(self) -> None:
         """Rebuild the heap without cancelled events. ``heapify`` keeps
         pop order deterministic because (time, seq) is a total order."""
+        if self._columnar:
+            wheel = self._wheel
+            for entry in self._queue:
+                bucket = entry[2]
+                kept = [
+                    rec for rec in bucket
+                    if rec[1].seq == rec[0] and not rec[1]._cancelled
+                ]
+                if len(kept) != len(bucket):
+                    for eseq, event in bucket:
+                        # Only records still owned by their event may
+                        # flip _queued — a stale record's event lives
+                        # on in another slot (or already fired).
+                        if event.seq == eseq and event._cancelled:
+                            event._queued = False
+                    bucket[:] = kept  # in place: the wheel may alias it
+                if not kept and wheel.get(entry[0]) is bucket:
+                    del wheel[entry[0]]
+            self._queue = [e for e in self._queue if e[2]]
+            heapq.heapify(self._queue)
+            self._dead = 0
+            self._entries = sum(len(e[2]) for e in self._queue)
+            return
         if self._recycle:
             for __, __, event in self._queue:
                 if event._cancelled:
@@ -470,6 +611,8 @@ class Simulator:
         """
         if not self._recycle:
             return self._legacy_run(until, max_events)
+        if self._columnar:
+            return self._columnar_run(until, max_events)
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
@@ -525,6 +668,114 @@ class Simulator:
             self._now = until
         return processed
 
+    def _columnar_run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> int:
+        """The slot-bucket run loop: pop one slot per heap operation,
+        drain its records front-to-back (append order == seq order, so
+        the firing sequence is byte-identical to the per-event heap).
+        Stale records (seq mismatch after a reschedule) and cancelled
+        records are skipped with the matching dead-count adjustment."""
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        processed = 0
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        wheel = self._wheel
+        try:
+            while self._queue:
+                entry = self._queue[0]
+                now = entry[0]
+                if until is not None and now > until:
+                    break
+                heappop(self._queue)
+                bucket = entry[2]
+                # Detach the accepting slot: same-instant schedules made
+                # by the callbacks below open a *fresh* bucket, which
+                # fires after this one — exactly where their larger seqs
+                # would have landed in a per-event heap.
+                if wheel.get(now) is bucket:
+                    del wheel[now]
+                self._now = now
+                self._drain_bucket = bucket
+                i = 0
+                n = len(bucket)
+                stop = False
+                while i < n:
+                    eseq, event = bucket[i]
+                    i += 1
+                    if event.seq != eseq:
+                        # Stale: the event was rescheduled away.
+                        self._dead -= 1
+                        self._entries -= 1
+                        continue
+                    if event._cancelled:
+                        event._queued = False
+                        self._dead -= 1
+                        self._entries -= 1
+                        continue
+                    event._queued = False
+                    self._live -= 1
+                    self._entries -= 1
+                    epoch = self._cleared
+                    if event.periodic:
+                        event.fired += 1
+                        self.timer_fired += 1
+                        event.fn(*event.args)
+                        if (
+                            event.auto
+                            and epoch == self._cleared
+                            and not (event._cancelled or event._queued)
+                        ):
+                            event.time = time = event.time + event.interval
+                            seq = event.seq = self._seq
+                            self._seq = seq + 1
+                            event._queued = True
+                            slot = wheel.get(time)
+                            if slot is None:
+                                wheel[time] = [(seq, event)]
+                                heappush(self._queue, (time, seq, wheel[time]))
+                            else:
+                                slot.append((seq, event))
+                            self._live += 1
+                            self._entries += 1
+                            event.rearmed += 1
+                            self.timer_rearmed += 1
+                    else:
+                        event.fn(*event.args)
+                    processed += 1
+                    if epoch != self._cleared:
+                        # clear() ran inside the callback. The rest of
+                        # this bucket was already popped off the heap,
+                        # so the teardown sweep could not reach it —
+                        # finish its job here and drop the slot.
+                        for j in range(i, n):
+                            seq_j, event_j = bucket[j]
+                            if event_j.seq == seq_j:
+                                event_j._queued = False
+                                if event_j.periodic:
+                                    event_j._cancelled = True
+                        break
+                    if max_events is not None and processed >= max_events:
+                        if i < n:
+                            # Re-queue the unfired remainder as its own
+                            # slot; its first (oldest) seq keeps it
+                            # ahead of anything scheduled afterwards.
+                            heappush(self._queue, (now, bucket[i][0], bucket[i:]))
+                        stop = True
+                        break
+                self._drain_bucket = None
+                if stop:
+                    break
+        finally:
+            self._drain_bucket = None
+            self._processed += processed
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return processed
+
     def _legacy_run(
         self, until: float | None = None, max_events: int | None = None
     ) -> int:
@@ -559,6 +810,8 @@ class Simulator:
 
     def step(self) -> bool:
         """Run a single (non-cancelled) event. Returns False if none left."""
+        if self._columnar:
+            return self._columnar_step()
         while self._queue:
             if self._recycle:
                 event = heapq.heappop(self._queue)[2]
@@ -596,6 +849,88 @@ class Simulator:
             return True
         return False
 
+    def _columnar_step(self) -> bool:
+        """Single-event stepping over the slot engine: fire the first
+        live record of the earliest slot, push the remainder back as
+        its own slot (oldest seq first keeps it ahead of new work)."""
+        wheel = self._wheel
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            now = entry[0]
+            bucket = entry[2]
+            if wheel.get(now) is bucket:
+                del wheel[now]
+            i = 0
+            n = len(bucket)
+            while i < n:
+                eseq, event = bucket[i]
+                i += 1
+                if event.seq != eseq:
+                    self._dead -= 1
+                    self._entries -= 1
+                    continue
+                if event._cancelled:
+                    event._queued = False
+                    self._dead -= 1
+                    self._entries -= 1
+                    continue
+                event._queued = False
+                self._live -= 1
+                self._entries -= 1
+                self._now = now
+                self._drain_bucket = bucket
+                epoch = self._cleared
+                try:
+                    if event.periodic:
+                        event.fired += 1
+                        self.timer_fired += 1
+                        event.fn(*event.args)
+                        if (
+                            event.auto
+                            and epoch == self._cleared
+                            and not (event._cancelled or event._queued)
+                        ):
+                            event.time += event.interval
+                            event.seq = self._seq
+                            self._seq += 1
+                            event._queued = True
+                            self._enqueue(event.time, event.seq, event)
+                            event.rearmed += 1
+                            self.timer_rearmed += 1
+                    else:
+                        event.fn(*event.args)
+                finally:
+                    self._drain_bucket = None
+                if epoch != self._cleared:
+                    for j in range(i, n):
+                        seq_j, event_j = bucket[j]
+                        if event_j.seq == seq_j:
+                            event_j._queued = False
+                            if event_j.periodic:
+                                event_j._cancelled = True
+                elif i < n:
+                    heapq.heappush(self._queue, (now, bucket[i][0], bucket[i:]))
+                self._processed += 1
+                return True
+        return False
+
+    def iter_queued(self):
+        """Yield ``(event, live)`` for every physical queue record, in
+        no particular order — the audit checkers' engine-agnostic view.
+        ``live`` is False for lazily deleted records: cancelled events
+        and (columnar mode) stale records left behind by a reschedule,
+        whose event lives on in another slot."""
+        if self._columnar:
+            for entry in self._queue:
+                for eseq, event in entry[2]:
+                    yield event, event.seq == eseq and not event._cancelled
+        elif self._recycle:
+            for entry in self._queue:
+                yield entry[2], not entry[2]._cancelled
+        else:
+            for event in self._queue:
+                yield event, not event._cancelled
+
     def clear(self) -> None:
         """Drop all pending events (the clock is left as-is). Periodic
         timers are cancelled — re-arm survivors with ``reschedule``.
@@ -603,6 +938,23 @@ class Simulator:
         suppresses the auto re-arm of the timer currently firing (which
         is not in the queue, so the sweep below cannot cancel it)."""
         self._cleared += 1
+        if self._columnar:
+            for entry in self._queue:
+                for eseq, event in entry[2]:
+                    # Stale records are skipped: their event is either
+                    # queued elsewhere (another record will reach it)
+                    # or already fired.
+                    if event.seq != eseq:
+                        continue
+                    event._queued = False
+                    if event.periodic:
+                        event._cancelled = True
+            self._wheel.clear()
+            self._entries = 0
+            self._queue.clear()
+            self._live = 0
+            self._dead = 0
+            return
         for entry in self._queue:
             event = entry[2] if self._recycle else entry
             event._queued = False
