@@ -31,8 +31,16 @@ root so the perf trajectory is tracked from this PR onward.
 The scaling table (``SCALE_LEGS``) runs the same 64-flow CBR fleet on
 ring+chords meshes at n=100/300/1000, once per engine (packet /
 columnar / fluid), recording steady-state events/s plus the wall
-clock and event count of the link-state convergence storm each leg
-pays during warm-up.
+clock of each leg's warm phase. The link-state convergence storm is
+paid **once per mesh size**: the packet leg converges organically and
+captures a :mod:`repro.core.warmstart` snapshot, the columnar leg
+restores it (seq-exact — its measured-window trace is asserted
+byte-identical to the organic leg's), and the fluid leg constructs
+the converged state directly from the topology spec. Every leg
+records its ``warm_source`` (organic / snapshot / constructed) and
+snapshot build/restore walls in ``BENCH_simcore.json``; full runs
+gate on the n=1000 warm phase being >= 30x faster via restore than
+via the organic storm.
 
 Expected shape: byte-identical traces, ``timer.fired`` ==
 ``timer.fired`` across modes, fewer live allocation blocks in fast
@@ -49,6 +57,14 @@ import tracemalloc
 from repro.core.config import OverlayConfig
 from repro.core.message import Address
 from repro.core.network import OverlayNetwork
+from repro.core.warmstart import (
+    SnapshotStore,
+    capture,
+    construct_converged,
+    restore,
+    warm_key,
+)
+from repro.analysis.runner import source_fingerprint
 from repro.analysis.workloads import CbrSource
 from repro.net.internet import Internet
 from repro.audit import assert_identical
@@ -58,6 +74,7 @@ from repro.sim.rng import RngRegistry
 from bench_util import (
     add_audit_arg,
     add_profile_arg,
+    bench_phase,
     enable_audit,
     finish_audit,
     maybe_profile,
@@ -122,7 +139,8 @@ def _run_once(fast: bool, run_time: float, trace_allocs: bool = False,
     links = [(f"n{a[1:]}", f"n{b[1:]}") for a, b in FIBERS]
     config = OverlayConfig(control_fastpath=fast, columnar=columnar)
     overlay = OverlayNetwork(internet, sites, links, config)
-    overlay.warm_up(2.0)
+    with bench_phase("warmup"):
+        overlay.warm_up(2.0)
 
     deliveries: list[tuple] = []
 
@@ -143,9 +161,10 @@ def _run_once(fast: bool, run_time: float, trace_allocs: bool = False,
     events_before = sim.events_processed
     if trace_allocs:
         tracemalloc.start()
-    started = time.perf_counter()
-    sim.run(until=sim.now + run_time)
-    wall = time.perf_counter() - started
+    with bench_phase("measured"):
+        started = time.perf_counter()
+        sim.run(until=sim.now + run_time)
+        wall = time.perf_counter() - started
     if trace_allocs:
         # Collect cyclic garbage first so "live blocks" measures what
         # the run actually keeps, not what gc has not swept yet (the
@@ -174,14 +193,9 @@ def _run_once(fast: bool, run_time: float, trace_allocs: bool = False,
     }
 
 
-def _scaling_leg(engine: str, n_nodes: int, run_time: float,
-                 warmup: float) -> dict:
-    """One scaling leg: the same flow fleet on one engine —
-    ``"packet"`` (per-datagram heap events), ``"columnar"`` (slot-bucket
-    wheel + per-instant link profiles, byte-identical traces), or
-    ``"fluid"`` (flow-level rate intervals over the packet control
-    plane)."""
-    columnar = engine == "columnar"
+def _build_scale_overlay(n_nodes: int, columnar: bool = False) -> OverlayNetwork:
+    """A fresh, unstarted ring+chords scaling mesh (the scale-leg
+    topology, factored out so warm-start can build identical twins)."""
     sim = Simulator(columnar=columnar)
     rngs = RngRegistry(SEED)
     inet = Internet(sim, rngs)
@@ -199,65 +213,157 @@ def _scaling_leg(engine: str, n_nodes: int, run_time: float,
         inet.attach(f"n{i:03d}", ISP, f"r{i:03d}")
     sites = [f"n{i:03d}" for i in range(n_nodes)]
     links = [(f"n{a[1:]}", f"n{b[1:]}") for a, b in fibers]
-    overlay = OverlayNetwork(inet, sites, links,
-                             OverlayConfig(columnar=columnar))
-    warm_started = time.perf_counter()
-    overlay.warm_up(warmup)
-    warm_wall = time.perf_counter() - warm_started
-    warm_events = sim.events_processed
+    return OverlayNetwork(inet, sites, links, OverlayConfig(columnar=columnar))
+
+
+def _scale_warm_key(n_nodes: int, warmup: float, fingerprint: str) -> str:
+    """One snapshot key per (mesh size, warm-up) — shared by every
+    engine leg (``columnar`` is excluded from the key on purpose)."""
+    return warm_key(
+        ("simcore-scale", n_nodes, SEED, warmup), OverlayConfig(), fingerprint
+    )
+
+
+def _scaling_leg(engine: str, n_nodes: int, run_time: float, warmup: float,
+                 warm_source: str, store=None, key: str = "",
+                 fingerprint: str = "", payload: dict | None = None) -> dict:
+    """One scaling leg: the same flow fleet on one engine —
+    ``"packet"`` (per-datagram heap events), ``"columnar"`` (slot-bucket
+    wheel + per-instant link profiles, byte-identical traces), or
+    ``"fluid"`` (flow-level rate intervals over the packet control
+    plane).
+
+    ``warm_source`` selects how the leg reaches the converged steady
+    state: ``"organic"`` pays the link-state storm (then captures a
+    snapshot into ``store`` for the other legs), ``"snapshot"``
+    restores the organic leg's capture (seq-exact: the measured-window
+    trace is byte-identical to the organic leg's), ``"constructed"``
+    builds the converged state directly from the topology spec. The
+    returned dict carries the warm-phase provenance and wall costs;
+    ``"deliveries"`` is the measured-window trace for identity asserts
+    (popped before the table is persisted).
+    """
+    columnar = engine == "columnar"
+    overlay = _build_scale_overlay(n_nodes, columnar=columnar)
+    sim = overlay.sim
+    leg: dict = {"engine": engine, "warm_source": warm_source}
+    with bench_phase("warmup"):
+        warm_started = time.perf_counter()
+        if warm_source == "organic":
+            overlay.warm_up(warmup)
+            overlay.quiesce()
+            leg["warm_wall_s"] = time.perf_counter() - warm_started
+            build_started = time.perf_counter()
+            snapshot = capture(overlay, key=key, source_fingerprint=fingerprint)
+            if store is not None:
+                store.save(key, snapshot)
+            leg["snapshot_build_s"] = time.perf_counter() - build_started
+            leg["snapshot"] = snapshot
+        elif warm_source == "snapshot":
+            if payload is None and store is not None:
+                payload = store.load(key, fingerprint)
+            assert payload is not None, (
+                f"n={n_nodes} {engine} leg: no warm-start snapshot to restore"
+            )
+            restore(overlay, payload)
+            leg["snapshot_restore_s"] = time.perf_counter() - warm_started
+            leg["warm_wall_s"] = leg["snapshot_restore_s"]
+        elif warm_source == "constructed":
+            construct_converged(overlay, warmup)
+            leg["construct_s"] = time.perf_counter() - warm_started
+            leg["warm_wall_s"] = leg["construct_s"]
+        else:
+            raise ValueError(f"unknown warm_source {warm_source!r}")
+    leg["warm_events"] = sim.events_processed
     assert overlay.converged(), (
-        f"n={n_nodes} mesh not converged after {warmup}s warm-up — "
-        "the link-state storm outlasted the warm-up window"
+        f"n={n_nodes} mesh not converged via {warm_source} warm-up"
     )
     fluid = overlay.fluid_engine() if engine == "fluid" else None
+
+    deliveries: list[tuple] = []
+
+    def receiver(site):
+        return lambda msg: deliveries.append(
+            (site, msg.origin, msg.flow, msg.seq, round(sim.now, 9))
+        )
 
     sources = []
     for i in range(SCALE_FLOWS):
         src = f"n{i % n_nodes:03d}"
         sink = f"n{(i * 7 + n_nodes // 2) % n_nodes:03d}"
-        overlay.client(sink, 7)
+        overlay.client(sink, 7, on_message=receiver(sink))
         sources.append(CbrSource(
             sim, overlay.client(src), Address(sink, 7),
             rate_pps=SCALE_RATE_PPS, fluid=fluid,
         ).start())
 
     events_before = sim.events_processed
-    started = time.perf_counter()
-    sim.run(until=sim.now + run_time)
-    if fluid is not None:
-        fluid.settle_now()
-    wall = time.perf_counter() - started
+    with bench_phase("measured"):
+        started = time.perf_counter()
+        sim.run(until=sim.now + run_time)
+        if fluid is not None:
+            fluid.settle_now()
+        wall = time.perf_counter() - started
     events = sim.events_processed - events_before
-    return {
-        "engine": engine,
+    leg.update({
         "wall_s": wall,
         "events": events,
         "events_per_s": events / wall if wall > 0 else 0.0,
-        "warm_wall_s": warm_wall,
-        "warm_events": warm_events,
-    }
+        "deliveries": deliveries,
+    })
+    return leg
 
 
 def run_scaling(quick: bool = False) -> list:
     """The scaling table: packet vs columnar vs fluid events/s on
     ring+chords meshes at n=100/300/1000 (tracked in BENCH_simcore.json
-    alongside the 16-node engine numbers). Quick mode runs the CI
-    smoke subset — the n=300 columnar leg."""
+    alongside the 16-node engine numbers).
+
+    The warm-up storm is paid **once per mesh size**: the packet leg
+    converges organically, quiesces, and captures a snapshot; the
+    columnar leg restores it (seq-exact — its measured-window trace is
+    asserted byte-identical to the organic leg's); the fluid leg skips
+    the storm entirely via constructed convergence. Quick mode (the CI
+    smoke subset) runs the n=300 columnar leg organically plus a
+    snapshot-restored twin and asserts their traces identical.
+    """
     legs = SCALE_QUICK_LEGS if quick else SCALE_LEGS
-    engines = SCALE_QUICK_ENGINES if quick else SCALE_ENGINES
+    fingerprint = source_fingerprint()
+    store = SnapshotStore()
     table = []
     for n_nodes, run_time, warmup in legs:
+        key = _scale_warm_key(n_nodes, warmup, fingerprint)
         entry = {
             "n_nodes": n_nodes,
             "run_time_s": run_time,
             "warmup_s": warmup,
             "flows": SCALE_FLOWS,
             "flow_rate_pps": SCALE_RATE_PPS,
+            "warm_key": key,
             "engines": {},
         }
-        for engine in engines:
-            entry["engines"][engine] = _scaling_leg(
-                engine, n_nodes, run_time, warmup)
+        organic_engine = "columnar" if quick else "packet"
+        organic = _scaling_leg(organic_engine, n_nodes, run_time, warmup,
+                               "organic", store, key, fingerprint)
+        snapshot = organic.pop("snapshot")
+        restored_name = "columnar-restored" if quick else "columnar"
+        restored = _scaling_leg("columnar", n_nodes, run_time, warmup,
+                                "snapshot", store, key, fingerprint,
+                                payload=snapshot)
+        assert_identical(
+            restored.pop("deliveries"), organic.pop("deliveries"),
+            label="deliveries",
+            header=f"n={n_nodes}: the snapshot-restored leg's measured "
+            "window diverged from the organic leg's — warm-start restore "
+            "must be behaviourally invisible",
+        )
+        entry["engines"][organic_engine] = organic
+        entry["engines"][restored_name] = restored
+        if not quick:
+            constructed = _scaling_leg("fluid", n_nodes, run_time, warmup,
+                                       "constructed")
+            constructed.pop("deliveries")
+            entry["engines"]["fluid"] = constructed
         table.append(entry)
     return table
 
@@ -276,6 +382,14 @@ def _scaling_summary(table: list) -> dict:
             summary[f"columnar_vs_packet_n{n_nodes}"] = (
                 engines["columnar"]["events_per_s"]
                 / engines["packet"]["events_per_s"])
+        organic = next((leg for leg in engines.values()
+                        if leg["warm_source"] == "organic"), None)
+        warmed = next((leg for leg in engines.values()
+                       if leg["warm_source"] in ("snapshot", "constructed")),
+                      None)
+        if organic and warmed and warmed["warm_wall_s"] > 0:
+            summary[f"warmstart_speedup_n{n_nodes}"] = (
+                organic["warm_wall_s"] / warmed["warm_wall_s"])
     return summary
 
 
@@ -383,6 +497,12 @@ def _check_shape(result: dict) -> None:
         if "fluid" in engines and "packet" in engines:
             assert engines["fluid"]["events"] < engines["packet"]["events"], (
                 entry)
+    # Warm-start: restoring (or constructing) convergence must beat
+    # re-running the storm (soft here; the >= 30x n=1000 gate is
+    # asserted by full `__main__` runs on a quiet machine).
+    for name, value in result["scaling_summary"].items():
+        if name.startswith("warmstart_speedup_n"):
+            assert value > 1.0, (name, value)
 
 
 def bench_simcore(benchmark):
@@ -408,9 +528,10 @@ def bench_simcore(benchmark):
         print_table(
             f"Scaling leg: n={entry['n_nodes']} mesh, "
             f"{entry['flows']} flows",
-            ["engine", "wall s", "events", "events/s"],
+            ["engine", "warm via", "warm s", "wall s", "events", "events/s"],
             [
-                (engine, leg["wall_s"], leg["events"], leg["events_per_s"])
+                (engine, leg["warm_source"], leg["warm_wall_s"],
+                 leg["wall_s"], leg["events"], leg["events_per_s"])
                 for engine, leg in entry["engines"].items()
             ],
         )
@@ -450,6 +571,11 @@ if __name__ == "__main__":
         assert result["speedup"] >= 1.4, (
             f"expected >= 1.4x steady-state speedup, got "
             f"{result['speedup']:.2f}x"
+        )
+        warm1000 = result["scaling_summary"].get("warmstart_speedup_n1000")
+        assert warm1000 is not None and warm1000 >= 30.0, (
+            f"expected >= 30x n=1000 warm-phase speedup from the "
+            f"convergence snapshot, got {warm1000}"
         )
     finish_audit()
     print("ok")

@@ -67,6 +67,19 @@ WORKERS_ENV = "REPRO_BENCH_WORKERS"
 #: machine it shares.
 MAX_DEFAULT_WORKERS = 8
 
+#: Mirrors :data:`repro.core.warmstart.ENV_FRESH` (kept as a literal so
+#: the sweep engine does not import the overlay stack).
+WARMSTART_FRESH_ENV = "REPRO_WARMSTART_FRESH"
+
+
+def _cell_params(cell: Cell) -> dict:
+    """The keyword arguments ``run_cell`` receives for ``cell`` — its
+    declared params plus the warm-start snapshot key, when one is set."""
+    params = dict(cell.params)
+    if cell.warm_key is not None:
+        params["warm_key"] = cell.warm_key
+    return params
+
 
 def resolve_workers(workers: int | None = None) -> int:
     """The worker count to use: explicit value, else ``REPRO_BENCH_WORKERS``,
@@ -176,6 +189,7 @@ class SweepCache:
             sorted((name, repr(value)) for name, value in cell.params.items()),
             seed,
             replicate,
+            *((cell.warm_key,) if cell.warm_key is not None else ()),
         ))
         blake = hashlib.blake2b(digest_size=16)
         blake.update(spec.encode())
@@ -310,43 +324,58 @@ def run_sweep(
                 continue
         pending.append((slot, cell, replicate, seed, digest))
 
-    if pending and workers == 0:
-        for slot, cell, replicate, seed, digest in pending:
-            value, counters, error, wall = _execute_job(
-                sweep.run_cell, seed, dict(cell.params)
-            )
-            results[slot] = CellResult(
-                key=cell.key, replicate=replicate, seed=seed, value=value,
-                counters=counters, error=error, wall_s=wall,
-            )
-            if error is None and store is not None:
-                store.store(sweep, digest, value, counters)
-    elif pending:
-        context, needs_paths = _pool_context()
-        init, initargs = (None, ())
-        if needs_paths:
-            init, initargs = _init_worker, (list(sys.path),)
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)), mp_context=context,
-            initializer=init, initargs=initargs,
-        ) as pool:
-            futures = {
-                slot: pool.submit(_execute_job, sweep.run_cell, seed,
-                                  dict(cell.params))
-                for slot, cell, replicate, seed, __ in pending
-            }
+    # A sweep run with caching disabled is a --fresh run: warm-start
+    # snapshots must not be served either, or a stale convergence
+    # artifact would survive the very flag meant to invalidate it.
+    warm_cells = any(cell.warm_key is not None for cell in sweep.cells)
+    fresh_forced = pending and warm_cells and store is None
+    fresh_before = os.environ.get(WARMSTART_FRESH_ENV)
+    if fresh_forced:
+        os.environ[WARMSTART_FRESH_ENV] = "1"
+    try:
+        if pending and workers == 0:
             for slot, cell, replicate, seed, digest in pending:
-                try:
-                    value, counters, error, wall = futures[slot].result()
-                except Exception as exc:  # BrokenProcessPool, pickling, ...
-                    value, counters, wall = None, {}, 0.0
-                    error = f"{type(exc).__name__}: {exc}"
+                value, counters, error, wall = _execute_job(
+                    sweep.run_cell, seed, _cell_params(cell)
+                )
                 results[slot] = CellResult(
                     key=cell.key, replicate=replicate, seed=seed, value=value,
                     counters=counters, error=error, wall_s=wall,
                 )
                 if error is None and store is not None:
                     store.store(sweep, digest, value, counters)
+        elif pending:
+            context, needs_paths = _pool_context()
+            init, initargs = (None, ())
+            if needs_paths:
+                init, initargs = _init_worker, (list(sys.path),)
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)), mp_context=context,
+                initializer=init, initargs=initargs,
+            ) as pool:
+                futures = {
+                    slot: pool.submit(_execute_job, sweep.run_cell, seed,
+                                      _cell_params(cell))
+                    for slot, cell, replicate, seed, __ in pending
+                }
+                for slot, cell, replicate, seed, digest in pending:
+                    try:
+                        value, counters, error, wall = futures[slot].result()
+                    except Exception as exc:  # BrokenProcessPool, pickling, ...
+                        value, counters, wall = None, {}, 0.0
+                        error = f"{type(exc).__name__}: {exc}"
+                    results[slot] = CellResult(
+                        key=cell.key, replicate=replicate, seed=seed, value=value,
+                        counters=counters, error=error, wall_s=wall,
+                    )
+                    if error is None and store is not None:
+                        store.store(sweep, digest, value, counters)
+    finally:
+        if fresh_forced:
+            if fresh_before is None:
+                os.environ.pop(WARMSTART_FRESH_ENV, None)
+            else:
+                os.environ[WARMSTART_FRESH_ENV] = fresh_before
 
     return SweepResult(sweep, [r for r in results if r is not None],
                        replicates=replicates, workers=workers)

@@ -81,11 +81,20 @@ class Cell:
             :class:`~repro.core.message.ServiceSpec`).
         seed: Optional pinned master seed for replicate 0. ``None``
             derives it from the sweep's master seed and ``key``.
+        warm_key: Optional warm-start snapshot key
+            (:func:`repro.core.warmstart.warm_key`). Cells of a campaign
+            grid that share a topology/config declare the same key; the
+            runner passes it to ``run_cell`` as a ``warm_key=`` keyword
+            so the cell can restore one shared convergence snapshot
+            instead of re-running the warm-up storm, and folds it into
+            the result-cache digest so a key change invalidates cached
+            cells.
     """
 
     key: Any
     params: Mapping[str, Any] = field(default_factory=dict)
     seed: int | None = None
+    warm_key: str | None = None
 
 
 @dataclass(frozen=True)

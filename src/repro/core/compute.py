@@ -123,6 +123,21 @@ class RouteComputeEngine:
         """Number of fingerprint generations currently cached."""
         return len(self._store)
 
+    def prime(self, fingerprints: Iterable[int]) -> None:
+        """Open (empty) generations for known fingerprints — used by the
+        warm-start layer so a restored overlay's first lookups land in
+        the same generation order an organic run would have produced.
+        Artifacts themselves are *not* restored: they are deterministic
+        derivations and recompute on first use (``route.compute``
+        counters therefore restart from the snapshot's values, not
+        zero)."""
+        for fingerprint in fingerprints:
+            if fingerprint not in self._store:
+                self._store[fingerprint] = {}
+                while len(self._store) > self.capacity:
+                    self._store.popitem(last=False)
+                    self.counters.add("route.evict")
+
     # -------------------------------------------------- typed artifacts
 
     def table(self, fingerprint: int, adj: Mapping, dst: Hashable) -> Mapping:

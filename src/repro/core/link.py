@@ -418,6 +418,67 @@ class OverlayLink:
             1.0 + self.config.loss_cost_factor * self.loss_est
         )
 
+    # ------------------------------------------------- warm-start support
+
+    def warm_state(self) -> dict:
+        """Snapshot this endpoint's protocol state (JSON-shaped). Timer
+        schedule entries (``_hello_timer`` / ``_check_timer`` firing
+        times and seqs) are captured separately by the snapshot layer,
+        which owns the simulator queue."""
+        return {
+            "up": self.up,
+            "muted": self.muted,
+            "carrier_idx": self.carrier_idx,
+            "switch_count": self.switch_count,
+            "bytes_sent": self.bytes_sent,
+            "frames_sent": self.frames_sent,
+            "data_bytes_sent": self.data_bytes_sent,
+            "data_frames_sent": self.data_frames_sent,
+            "hello_seq": dict(self._hello_seq),
+            "rx": {
+                name: [m.last_seq, m.last_rx_time, m.loss_est,
+                       m.latency_est, m.version]
+                for name, m in self._rx.items()
+            },
+            "peer_feedback": dict(self._peer_feedback),
+            "last_rx_time": self._last_rx_time,
+            "recover_count": self._recover_count,
+            "last_switch": self._last_switch,
+            "feedback": dict(self._feedback),
+            "feedback_version": self._feedback_version,
+            "hello_wire": self._hello_wire,
+        }
+
+    def restore_warm(self, state: dict) -> None:
+        """Install a :meth:`warm_state` snapshot into this (unstarted)
+        endpoint and mark it started — the snapshot layer re-arms the
+        hello/check timers via the simulator's adoption API."""
+        if self._started:
+            raise RuntimeError(
+                f"link {self.node_id}->{self.nbr_id} already started"
+            )
+        self._started = True
+        self.up = state["up"]
+        self.muted = state["muted"]
+        self.carrier_idx = state["carrier_idx"]
+        self.switch_count = state["switch_count"]
+        self.bytes_sent = state["bytes_sent"]
+        self.frames_sent = state["frames_sent"]
+        self.data_bytes_sent = state["data_bytes_sent"]
+        self.data_frames_sent = state["data_frames_sent"]
+        self._hello_seq = dict(state["hello_seq"])
+        for name, packed in state["rx"].items():
+            monitor = self._rx[name]
+            (monitor.last_seq, monitor.last_rx_time, monitor.loss_est,
+             monitor.latency_est, monitor.version) = packed
+        self._peer_feedback = dict(state["peer_feedback"])
+        self._last_rx_time = state["last_rx_time"]
+        self._recover_count = state["recover_count"]
+        self._last_switch = state["last_switch"]
+        self._feedback = dict(state["feedback"])
+        self._feedback_version = state["feedback_version"]
+        self._hello_wire = state["hello_wire"]
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "up" if self.up else "down"
         return (

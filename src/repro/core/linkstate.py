@@ -135,6 +135,36 @@ class TopologyDatabase:
             self._sym_fp = self._fingerprint
         return self._sym_view
 
+    # ------------------------------------------------- warm-start support
+
+    def export_state(self) -> dict[str, tuple[int, dict]]:
+        """The record table as ``{origin: (seq, {nbr: cost-or-None})}``
+        (insertion order preserved). Stored cost dicts are never mutated
+        in place, so the export aliases them — snapshot code serializes
+        or shares them without copying."""
+        return dict(self._records)
+
+    def load_state(self, records: Mapping, version: int) -> None:
+        """Install a snapshotted record table into an **empty** replica,
+        recomputing the per-origin content parts and fingerprint from
+        scratch (the canonical derivation — not trusted from the
+        snapshot). ``records`` may alias dicts shared across replicas;
+        updates replace records rather than mutating them, so sharing
+        is safe. ``version`` restores the replica's local update
+        counter."""
+        if self._records:
+            raise ValueError("load_state requires an empty database")
+        parts: dict[str, int] = {}
+        fingerprint = 0
+        for origin, (seq, costs) in records.items():
+            self._records[origin] = (seq, costs)
+            part = content_digest((origin, tuple(sorted(costs.items()))))
+            fingerprint ^= part
+            parts[origin] = part
+        self.version = version
+        self._parts = parts
+        self._fingerprint = fingerprint
+
 
 class GroupDatabase:
     """Group State — shared global state #2 (Sec II-B).
@@ -203,6 +233,32 @@ class GroupDatabase:
     def groups_of(self, origin: str) -> frozenset[str]:
         entry = self._records.get(origin)
         return entry[1] if entry else frozenset()
+
+    # ------------------------------------------------- warm-start support
+
+    def export_state(self) -> dict[str, tuple[int, frozenset]]:
+        """The record table as ``{origin: (seq, frozenset(groups))}``
+        (insertion order preserved); see
+        :meth:`TopologyDatabase.export_state`."""
+        return dict(self._records)
+
+    def load_state(self, records: Mapping, version: int) -> None:
+        """Install a snapshotted record table into an **empty** replica,
+        recomputing parts and fingerprint canonically (mirror of
+        :meth:`TopologyDatabase.load_state`)."""
+        if self._records:
+            raise ValueError("load_state requires an empty database")
+        parts: dict[str, int] = {}
+        fingerprint = 0
+        for origin, (seq, groups) in records.items():
+            members = frozenset(groups)
+            self._records[origin] = (seq, members)
+            part = content_digest((origin, tuple(sorted(members))))
+            fingerprint ^= part
+            parts[origin] = part
+        self.version = version
+        self._parts = parts
+        self._fingerprint = fingerprint
 
 
 class DedupCache:

@@ -168,6 +168,16 @@ class OverlayNetwork:
         self.start()
         self.sim.run(until=self.sim.now + duration)
 
+    def quiesce(self) -> float:
+        """Run the simulation forward until only auto-periodic timer
+        work remains queued (no in-flight datagrams, floods, or one-shot
+        continuations) and return the quiesced instant — the moment a
+        converged overlay can be snapshotted as pure timer schedule plus
+        protocol state (:mod:`repro.core.warmstart`)."""
+        from repro.sim.snapshot import quiesce
+
+        return quiesce(self.sim)
+
     def converged(self) -> bool:
         """True when every link is up and every node's connectivity
         graph agrees (used by tests and warm-up assertions)."""

@@ -182,6 +182,32 @@ class OverlayNode:
                       "groups": sorted(self.group_db.groups_of(origin))},
             ))
 
+    # ------------------------------------------------- warm-start support
+
+    def warm_state(self) -> dict:
+        """Snapshot this node's control-plane scalars (JSON-shaped).
+        Database records, link endpoint state, and timer schedules are
+        captured by the snapshot layer, which owns their shared /
+        queue-resident parts."""
+        return {
+            "lsu_seq": self._lsu_seq,
+            "gsu_seq": self._gsu_seq,
+            "advertised": dict(self._advertised),
+            "protocol_epochs": self._protocol_epochs,
+        }
+
+    def restore_warm(self, state: dict) -> None:
+        """Install a :meth:`warm_state` snapshot into this (unstarted)
+        node and mark it started — link state, databases, and timers
+        are restored separately by the snapshot layer."""
+        if self._started:
+            raise RuntimeError(f"node {self.id} already started")
+        self._started = True
+        self._lsu_seq = state["lsu_seq"]
+        self._gsu_seq = state["gsu_seq"]
+        self._advertised = dict(state["advertised"])
+        self._protocol_epochs = state["protocol_epochs"]
+
     # ---------------------------------------------------------- receive
 
     def crash(self) -> None:

@@ -476,6 +476,81 @@ class Simulator:
         ack/NACK/RTO timers, without a fresh :class:`Event` per arm."""
         return PeriodicEvent(self._now, 0, fn, args, self, 0.0, auto=False)
 
+    # ------------------------------------------------- warm-start support
+
+    def restore_clock(
+        self,
+        now: float,
+        seq: int,
+        processed: int = 0,
+        timer_fired: int = 0,
+        timer_rearmed: int = 0,
+    ) -> None:
+        """Fast-forward a **fresh** simulator to a snapshotted instant:
+        clock, sequence allocator, and aggregate counters. Must run
+        before any event is scheduled — the adopted timer schedule
+        (:meth:`adopt_periodic`) carries seqs below ``seq``, and a
+        simulator that already allocated seqs of its own would collide
+        with them."""
+        if self._queue or self._seq or self._now or self._processed:
+            raise SimulationError("restore_clock requires a fresh simulator")
+        if now < 0 or seq < 0:
+            raise SimulationError(f"invalid snapshot clock ({now}, {seq})")
+        self._now = now
+        self._seq = seq
+        self._processed = processed
+        self.timer_fired = timer_fired
+        self.timer_rearmed = timer_rearmed
+
+    def adopt_periodic(
+        self,
+        time: float,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        seq: int | None = None,
+        fired: int = 0,
+        rearmed: int = 0,
+    ) -> PeriodicEvent:
+        """Re-materialize a snapshotted auto-periodic timer: queued at
+        absolute ``time`` with its original ``seq`` (recycling/columnar
+        modes) or a freshly allocated one (``seq=None``, and always in
+        legacy mode, whose per-tick proxy events shift every seq by a
+        constant — relative same-instant order, and therefore the
+        trace, is preserved either way). Callers must adopt timers in
+        ascending-seq order: columnar slot buckets append in call
+        order, and the legacy allocator hands out fresh seqs in call
+        order — both replay the snapshot's relative order only if the
+        calls arrive sorted."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot adopt a timer at {time} before current time {self._now}"
+            )
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive ({interval})")
+        if not self._recycle:
+            seq = None
+        if seq is None:
+            seq = self._seq
+            self._seq = seq + 1
+        elif seq >= self._seq:
+            raise SimulationError(
+                f"adopted seq {seq} not below the restored allocator {self._seq}"
+            )
+        event = PeriodicEvent(time, seq, fn, args, self, interval, auto=True)
+        event.fired = fired
+        event.rearmed = rearmed
+        if self._columnar:
+            event._queued = True
+            self._enqueue(time, seq, event)
+        elif self._recycle:
+            event._queued = True
+            heapq.heappush(self._queue, (time, seq, event))
+            self._live += 1
+        else:
+            event._proxy = self.schedule_at(time, event._proxy_fire)
+        return event
+
     def repush(
         self,
         event: Event,

@@ -44,3 +44,30 @@ class RngRegistry:
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams
+
+    # ------------------------------------------------- warm-start support
+
+    def export_states(self) -> dict[str, list]:
+        """Snapshot every stream that has *moved* off its derived seed
+        (JSON-shaped: the ``getstate()`` tuple with lists for tuples).
+        Untouched streams are omitted — they are lazily re-derived from
+        ``(master_seed, name)`` on first use, byte-for-byte."""
+        states: dict[str, list] = {}
+        for name, rng in self._streams.items():
+            fresh = random.Random(derive_seed(self.master_seed, name))
+            state = rng.getstate()
+            if state != fresh.getstate():
+                version, internal, gauss_next = state
+                states[name] = [version, list(internal), gauss_next]
+        return states
+
+    def import_states(self, states: dict[str, list]) -> None:
+        """Restore streams snapshotted by :meth:`export_states`: each
+        named stream is (re)created and fast-forwarded to its recorded
+        position. Streams absent from ``states`` are left to lazy
+        derivation."""
+        for name, state in states.items():
+            version, internal, gauss_next = state
+            self.stream(name).setstate(
+                (version, tuple(internal), gauss_next)
+            )

@@ -1,0 +1,163 @@
+"""Simulator-level snapshot primitives for the warm-start subsystem.
+
+A converged overlay in steady state is *pure timer schedule*: every
+queued event is an auto-periodic control timer (hello, failure-check,
+LSU refresh, metric drift) — no datagrams in flight, no one-shot
+continuations, no floods mid-propagation. :func:`quiesce` drives a
+simulation to such an instant; the capture helpers then serialize the
+clock and the live timer schedule, and the adopt helpers re-materialize
+them into a **fresh** :class:`~repro.sim.events.Simulator` of any
+engine mode (legacy / recycled / columnar), preserving the
+deterministic (time, seq) total order:
+
+* recycled and columnar restores re-use the snapshot's exact seqs, so
+  the continuation is *seq-exact* — the restored run allocates the
+  same sequence numbers the straight-through run would have;
+* legacy mode allocates one proxy seq per timer adjacent to the
+  timer's own (exactly as ``schedule_periodic`` does), shifting every
+  seq by a constant — the relative same-instant order, and therefore
+  the trace, is still byte-identical.
+
+The orchestration that knows *what* the timers mean (which overlay
+link's hello tick, which node's refresh) lives in
+:mod:`repro.core.warmstart`; this module only knows the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.sim.events import Event, PeriodicEvent, Simulator
+
+
+class SnapshotError(RuntimeError):
+    """Raised when a simulation cannot be quiesced or a snapshot's
+    schedule does not match the simulator it is restored into."""
+
+
+def _auto_timer_of(event: Event) -> PeriodicEvent | None:
+    """The auto-periodic timer a queued record stands for, or ``None``
+    for real (non-timer) work. In legacy mode periodic timers never sit
+    in the heap themselves — their per-tick proxy one-shots do, whose
+    callback is the bound ``_proxy_fire`` of the owning timer."""
+    if event.periodic:
+        return event if event.auto else None
+    owner = getattr(event.fn, "__self__", None)
+    if isinstance(owner, PeriodicEvent) and owner.auto:
+        return owner
+    return None
+
+
+def pending_work_horizon(sim: Simulator) -> float | None:
+    """Latest firing time of any live queued event that is *not* an
+    auto-periodic timer (or its legacy proxy), or ``None`` when only
+    timer cadence remains."""
+    horizon: float | None = None
+    for event, live in sim.iter_queued():
+        if not live:
+            continue
+        if _auto_timer_of(event) is not None:
+            continue
+        if horizon is None or event.time > horizon:
+            horizon = event.time
+    return horizon
+
+
+def quiesce(sim: Simulator, max_rounds: int = 64) -> float:
+    """Run ``sim`` forward until only auto-periodic timers remain
+    queued, and return the quiesced instant.
+
+    Each round runs to the latest pending non-timer event; timer ticks
+    fired on the way may spawn new in-flight work (a hello tick queues
+    its arrival chain), so the scan repeats until a round finds none.
+    Converged control planes settle in two or three rounds — an
+    arrival chain spawned by a tick lands well before the next tick.
+    """
+    for __ in range(max_rounds):
+        horizon = pending_work_horizon(sim)
+        if horizon is None:
+            return sim.now
+        sim.run(until=horizon)
+    raise SnapshotError(
+        f"simulation did not quiesce within {max_rounds} rounds — "
+        "non-timer work keeps regenerating (in-flight traffic or a "
+        "non-converged control plane cannot be snapshotted)"
+    )
+
+
+def queued_auto_timers(sim: Simulator) -> list[PeriodicEvent]:
+    """Every live queued auto-periodic timer (deduplicated; legacy
+    proxies resolve to their owning timer). Raises :class:`SnapshotError`
+    if any live *non*-timer work is still queued — call :func:`quiesce`
+    first."""
+    timers: list[PeriodicEvent] = []
+    seen: set[int] = set()
+    for event, live in sim.iter_queued():
+        if not live:
+            continue
+        timer = _auto_timer_of(event)
+        if timer is None:
+            raise SnapshotError(
+                f"cannot snapshot: live non-timer work queued at "
+                f"t={event.time:.6f} ({event!r})"
+            )
+        if id(timer) not in seen:
+            seen.add(id(timer))
+            timers.append(timer)
+    return timers
+
+
+def capture_clock(sim: Simulator) -> dict:
+    """The simulator's clock/allocator/aggregate counters, JSON-shaped."""
+    return {
+        "now": sim._now,
+        "seq": sim._seq,
+        "processed": sim._processed,
+        "timer_fired": sim.timer_fired,
+        "timer_rearmed": sim.timer_rearmed,
+    }
+
+
+def restore_clock(sim: Simulator, clock: dict) -> None:
+    """Install a :func:`capture_clock` snapshot into a fresh simulator."""
+    sim.restore_clock(
+        clock["now"],
+        clock["seq"],
+        processed=clock["processed"],
+        timer_fired=clock["timer_fired"],
+        timer_rearmed=clock["timer_rearmed"],
+    )
+
+
+def timer_schedule(timer: PeriodicEvent) -> dict:
+    """One armed auto-timer's schedule entry (JSON-shaped). In legacy
+    mode the next firing lives on the timer's proxy one-shot — the
+    timer object's own (time, seq) is stale there."""
+    proxy = timer._proxy
+    if proxy is not None:
+        time, seq = proxy.time, proxy.seq
+    else:
+        time, seq = timer.time, timer.seq
+    return {
+        "time": time,
+        "seq": seq,
+        "interval": timer.interval,
+        "fired": timer.fired,
+        "rearmed": timer.rearmed,
+    }
+
+
+def adopt_timer(sim: Simulator, entry: dict, fn, *args,
+                exact_seq: bool = True) -> PeriodicEvent:
+    """Re-arm one :func:`timer_schedule` entry in a restored simulator.
+    Callers must adopt entries in ascending-seq order (see
+    :meth:`Simulator.adopt_periodic`). ``exact_seq=False`` allocates
+    fresh seqs instead — the constructed-convergence path, where no
+    organic seqs exist to replay."""
+    return sim.adopt_periodic(
+        entry["time"],
+        entry["interval"],
+        fn,
+        *args,
+        seq=entry["seq"] if exact_seq else None,
+        fired=entry["fired"],
+        rearmed=entry["rearmed"],
+    )
