@@ -1,4 +1,7 @@
-"""Fluid-vs-packet calibration harness.
+"""Approximate-tier calibration harnesses (fluid and vectorized).
+
+Two approximate execution tiers trade exactness for speed, and each is
+validated here against its exact counterpart on one shared scenario.
 
 The hybrid fluid mode (:mod:`repro.core.fluid`) claims two things:
 
@@ -11,11 +14,23 @@ The hybrid fluid mode (:mod:`repro.core.fluid`) claims two things:
    **byte-identical** traces whether or not fluid flows share the
    overlay.
 
+The vectorized columnar tier (``columnar_vectorized=True``,
+:mod:`repro.net.internet`) settles each slot bucket's link traversals
+in bulk with numpy and is likewise approximate: batched loss draws
+consume a different RNG stream than sequential per-packet draws, and
+arrivals are quantized to the columnar window. Its claim is the same
+shape — delivery ratio and mean latency match the exact columnar run
+of the identical scenario within the *same* documented tolerances.
+
 This module builds one shared scenario (the 16-node ring+chords mesh
-from ``benchmarks/bench_simcore.py``), runs it once packet-level and
-once fluid, and checks both claims with the audit trace differ. The
-benchmark ``benchmarks/bench_fluid.py`` and ``tests/test_fluid.py``
-both drive it; the tolerances here are the documented ones.
+from ``benchmarks/bench_simcore.py``) and checks both claims.
+``run_calibration`` compares packet vs fluid (driven by
+``benchmarks/bench_fluid.py`` and ``tests/test_fluid.py``);
+``run_vector_calibration`` compares exact vs vectorized columnar
+(driven by ``benchmarks/bench_simcore.py`` and
+``tests/test_vectorized.py``). The tolerances here are the documented
+ones. Run ``python -m repro.analysis.calibrate`` to execute both from
+the command line (CI's audit-smoke job does, under ``REPRO_AUDIT=1``).
 """
 
 from __future__ import annotations
@@ -46,6 +61,11 @@ WARM_UP = 2.0
 DELIVERY_TOL = 0.02       #: |delivery-ratio delta|, loss-free
 DELIVERY_TOL_LOSSY = 0.05  #: |delivery-ratio delta| under G-E loss
 LATENCY_TOL = 0.002       #: |mean-latency delta| in seconds
+
+#: Columnar window used by the vectorized-vs-exact calibration. 0.25 ms
+#: keeps quantization well under LATENCY_TOL while giving slot buckets
+#: enough fanout for the batch path to actually engage.
+VEC_WINDOW = 0.00025
 
 #: Ring plus chords, as in bench_simcore: node i links to i+1 and i+3.
 FIBERS = sorted(
@@ -247,3 +267,180 @@ def run_calibration(run_time: float = 20.0, lossy: bool = False,
         packet_wall_events=packet_leg["events"],
         fluid_wall_events=fluid_leg["events"],
     )
+
+
+# ----------------------------------------------------- vectorized tier
+
+
+@dataclass(frozen=True)
+class VectorDelta:
+    """One flow's vectorized-vs-exact calibration gap."""
+
+    flow: str
+    destination: str
+    exact: FlowStats
+    vectorized: FlowStats
+
+    @property
+    def delivery_delta(self) -> float:
+        return abs(self.vectorized.delivery_ratio - self.exact.delivery_ratio)
+
+    @property
+    def latency_delta(self) -> float:
+        return abs(self.vectorized.latency.mean - self.exact.latency.mean)
+
+
+@dataclass(frozen=True)
+class VectorCalibrationResult:
+    """Outcome of one exact-vs-vectorized columnar calibration run."""
+
+    run_time: float
+    lossy: bool
+    window: float
+    deltas: list[VectorDelta]
+    exact_wall_events: int
+    vectorized_wall_events: int
+
+    @property
+    def max_delivery_delta(self) -> float:
+        return max(d.delivery_delta for d in self.deltas)
+
+    @property
+    def max_latency_delta(self) -> float:
+        return max(d.latency_delta for d in self.deltas)
+
+    @property
+    def delivery_tolerance(self) -> float:
+        return DELIVERY_TOL_LOSSY if self.lossy else DELIVERY_TOL
+
+    def check(self) -> None:
+        """Assert every flow is inside the documented tolerances."""
+        for delta in self.deltas:
+            assert delta.delivery_delta <= self.delivery_tolerance, (
+                f"{delta.flow}: delivery ratio diverged "
+                f"{delta.delivery_delta:.4f} > {self.delivery_tolerance} "
+                f"(exact {delta.exact.delivery_ratio:.4f}, "
+                f"vectorized {delta.vectorized.delivery_ratio:.4f})"
+            )
+            assert delta.latency_delta <= LATENCY_TOL, (
+                f"{delta.flow}: mean latency diverged "
+                f"{delta.latency_delta * 1000:.3f} ms > "
+                f"{LATENCY_TOL * 1000:.1f} ms"
+            )
+
+
+def _run_vector_leg(vectorized: bool, run_time: float, lossy: bool,
+                    window: float) -> dict:
+    """One leg of the vectorized calibration. Both legs run the same
+    flow set as ordinary packet traffic on a columnar simulator; only
+    the settlement implementation (exact scalar vs numpy batch) and the
+    resulting arrival quantization differ."""
+    config = OverlayConfig(
+        columnar=True,
+        columnar_window=window,
+        columnar_vectorized=vectorized,
+    )
+    overlay = build_overlay(lossy=lossy, config=config)
+    sim = overlay.sim
+    overlay.warm_up(WARM_UP)
+
+    sources = []
+    for src, sink in BULK_FLOWS:
+        overlay.client(sink, BULK_PORT)
+        sources.append(CbrSource(
+            sim, overlay.client(src), Address(sink, BULK_PORT),
+            rate_pps=BULK_RATE_PPS, duration=run_time,
+        ).start())
+    sinks = [f"{sink}:{BULK_PORT}" for __, sink in BULK_FLOWS]
+    for src, sink in PACKET_FLOWS:
+        overlay.client(sink, PACKET_PORT)
+        sources.append(CbrSource(
+            sim, overlay.client(src), Address(sink, PACKET_PORT),
+            rate_pps=PACKET_RATE_PPS, duration=run_time,
+        ).start())
+    sinks += [f"{sink}:{PACKET_PORT}" for __, sink in PACKET_FLOWS]
+
+    start = sim.now
+    events_before = sim.events_processed
+    sim.run(until=start + run_time + 1.0)
+
+    stats = {
+        source.flow: flow_stats(overlay.trace, source.flow, dest, after=start)
+        for source, dest in zip(sources, sinks)
+    }
+    return {
+        "stats": stats,
+        "flows": [s.flow for s in sources],
+        "sinks": sinks,
+        "events": sim.events_processed - events_before,
+    }
+
+
+def run_vector_calibration(run_time: float = 20.0, lossy: bool = False,
+                           window: float = VEC_WINDOW,
+                           ) -> VectorCalibrationResult:
+    """Run the scenario exact-columnar then vectorized and compare.
+
+    Unlike the fluid harness there is no byte-identity claim here: the
+    vectorized tier consumes per-packet loss draws from a different RNG
+    stream, so even the loss-free legs differ in event interleaving.
+    The claim is purely statistical — every flow's delivery ratio and
+    mean latency inside the documented tolerances.
+    """
+    exact_leg = _run_vector_leg(False, run_time, lossy, window)
+    vector_leg = _run_vector_leg(True, run_time, lossy, window)
+
+    deltas = [
+        VectorDelta(
+            flow=flow,
+            destination=dest,
+            exact=exact_leg["stats"][flow],
+            vectorized=vector_leg["stats"][flow],
+        )
+        for flow, dest in zip(exact_leg["flows"], exact_leg["sinks"])
+    ]
+    return VectorCalibrationResult(
+        run_time=run_time,
+        lossy=lossy,
+        window=window,
+        deltas=deltas,
+        exact_wall_events=exact_leg["events"],
+        vectorized_wall_events=vector_leg["events"],
+    )
+
+
+def main(argv=None) -> int:
+    """CLI: run both calibrations and report (audit-smoke drives this)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--run-time", type=float, default=8.0)
+    parser.add_argument("--lossy", action="store_true")
+    parser.add_argument("--window", type=float, default=VEC_WINDOW)
+    parser.add_argument("--skip-fluid", action="store_true")
+    parser.add_argument("--skip-vector", action="store_true")
+    args = parser.parse_args(argv)
+
+    if not args.skip_fluid:
+        result = run_calibration(run_time=args.run_time, lossy=args.lossy)
+        result.check()
+        print(f"fluid-vs-packet OK (lossy={args.lossy}): "
+              f"max |d delivery| {result.max_delivery_delta:.4f} "
+              f"<= {result.delivery_tolerance}, "
+              f"max |d latency| {result.max_latency_delta * 1000:.3f} ms "
+              f"<= {LATENCY_TOL * 1000:.1f} ms")
+    if not args.skip_vector:
+        vector = run_vector_calibration(
+            run_time=args.run_time, lossy=args.lossy, window=args.window)
+        vector.check()
+        print(f"vectorized-vs-exact OK (lossy={args.lossy}, "
+              f"window={args.window * 1000:.2f} ms): "
+              f"max |d delivery| {vector.max_delivery_delta:.4f} "
+              f"<= {vector.delivery_tolerance}, "
+              f"max |d latency| {vector.max_latency_delta * 1000:.3f} ms "
+              f"<= {LATENCY_TOL * 1000:.1f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

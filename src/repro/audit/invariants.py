@@ -238,16 +238,31 @@ def check_teardown(sim, auditor: Auditor) -> bool:
 
 def _in_flight_datagrams(internet) -> int:
     """Count queued, non-cancelled underlay continuation events — each
-    one is exactly one datagram currently walking its hop chain."""
+    one is exactly one datagram currently walking its hop chain. In the
+    vectorized tier a datagram may instead be parked in one of the
+    slot's deferred batches (per-link crossing groups, path
+    fast-forward groups, or the bulk-delivery map) awaiting the flush
+    hook; an audit probe firing mid-drain sees those too."""
     sim = internet.sim
     count = 0
     for event, is_live in sim.iter_queued():
         if not is_live:
             continue
         fn = event.fn
-        if getattr(fn, "__self__", None) is internet and \
-                getattr(fn, "__name__", "") in ("_hop", "_deliver", "_drop"):
-            count += 1
+        if getattr(fn, "__self__", None) is internet:
+            name = getattr(fn, "__name__", "")
+            if name in ("_hop", "_deliver", "_drop"):
+                count += 1
+            elif name in ("_bulk_deliver", "_bulk_hop"):
+                # One event, many datagrams: the batch rides args[0].
+                count += len(event.args[0])
+    if getattr(internet, "_vectorized", False):
+        for __, __, rows in internet._vec_pending.values():
+            count += len(rows)
+        for __, rows in internet._vec_path_pending.values():
+            count += len(rows)
+        for rows in internet._vec_deliveries.values():
+            count += len(rows)
     return count
 
 

@@ -112,6 +112,25 @@ class OverlayConfig:
     #: approximation knob (latency inflation bounded by the window per
     #: hop) — byte-identical traces are only claimed at 0.0.
     columnar_window: float = 0.0
+    #: Vectorized approximate settlement over slot buckets: link
+    #: crossings batched in the window grid are deferred to the end of
+    #: their slot and settled in numpy columns — one loss/jitter RNG
+    #: call per (slot, link, direction) group, cumulative-sum queueing
+    #: folds, and bulk continuation/delivery events instead of one heap
+    #: entry per packet. Requires ``columnar=True`` and
+    #: ``columnar_window > 0`` (it is an approximation tier: validated
+    #: statistically by :mod:`repro.analysis.calibrate`, never
+    #: byte-identical), plus numpy (``pip install repro[fast]``) — a
+    #: missing numpy raises :class:`repro.vector.MissingNumpyError` at
+    #: overlay construction.
+    columnar_vectorized: bool = False
+    #: Minimum records in the slot being drained before the exact
+    #: columnar data plane uses the per-(slot, link) instant-profile
+    #: memo (below it, memo bookkeeping costs more than it amortizes).
+    #: Selects an implementation, never an outcome — traces are
+    #: byte-identical at any value. See ``_MIN_SLOT_FANOUT`` in
+    #: :mod:`repro.net.internet` for the measured default.
+    columnar_min_fanout: int = 4
     #: Settle fluid rate intervals into the per-node FlowTables (the
     #: classify stage's fluid half), so operators see one aggregate
     #: packet+fluid view. Disable for very large fluid fleets (hundreds

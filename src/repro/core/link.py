@@ -309,7 +309,11 @@ class OverlayLink:
         )
         if not fresh:
             return
-        self._peer_feedback = dict(info.get("feedback", {}))
+        feedback = info.get("feedback")
+        if feedback is not None and feedback != self._peer_feedback:
+            # Store a copy (the sender reuses its dict across hellos);
+            # steady state is "unchanged", so compare before allocating.
+            self._peer_feedback = dict(feedback)
         self._last_rx_time = now
         if not self.up:
             self._recover_count += 1

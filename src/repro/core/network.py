@@ -64,6 +64,16 @@ class OverlayNetwork:
             )
         if self.config.columnar:
             internet.columnar_window = self.config.columnar_window
+            internet.min_slot_fanout = self.config.columnar_min_fanout
+            if self.config.columnar_vectorized:
+                # Validates window > 0 and numpy availability (raising
+                # repro.vector.MissingNumpyError with install guidance).
+                internet.enable_vectorized()
+        elif self.config.columnar_vectorized:
+            raise ValueError(
+                "columnar_vectorized=True requires columnar=True "
+                "(and a columnar_window > 0)"
+            )
         self.trace = TraceCollector()
         self.counters = Counter()
         #: The runtime invariant auditor (:mod:`repro.audit`), armed by

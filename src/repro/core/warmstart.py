@@ -78,11 +78,16 @@ class WarmStartError(RuntimeError):
 def warm_key(spec, config, source_fingerprint: str = "") -> str:
     """Content key for one warm-start artifact: blake2b over the
     topology spec, the overlay config, and the repro-tree source
-    fingerprint. ``columnar`` and ``audit`` are excluded — both are
-    engine/observer choices that do not move the converged state, which
-    is exactly what lets three engine legs share one snapshot."""
+    fingerprint. ``columnar`` (with its window / vectorized / fanout
+    knobs) and ``audit`` are excluded — all are engine/observer choices
+    that do not move the converged state, which is exactly what lets
+    every engine leg (packet, exact columnar, vectorized, fluid) share
+    one snapshot."""
     cfg = dataclasses.asdict(config)
     cfg.pop("columnar", None)
+    cfg.pop("columnar_window", None)
+    cfg.pop("columnar_vectorized", None)
+    cfg.pop("columnar_min_fanout", None)
     cfg.pop("audit", None)
     defaults = cfg.pop("protocol_defaults", None) or {}
     blob = repr((
@@ -828,6 +833,16 @@ def ensure_warm(
             info["t0"] = construct_converged(overlay, warmup)
             info["construct_s"] = _time.perf_counter() - started
             info["warm_source"] = "constructed"
+            if store is not None:
+                # Persist the constructed state so configs that cannot
+                # construct themselves (a positive columnar_window, say)
+                # can restore it under the same engine-normalized key.
+                started = _time.perf_counter()
+                payload = capture(
+                    overlay, key=key, source_fingerprint=source_fingerprint
+                )
+                store.save(key, payload)
+                info["capture_s"] = _time.perf_counter() - started
             return overlay, info
         except WarmStartError:
             overlay = build()  # construction mutates nothing on the

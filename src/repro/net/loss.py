@@ -36,6 +36,29 @@ verdict (link outage windows), ``p`` is the per-packet drop probability
 still to be drawn (``None`` when the instant is draw-free). Models that
 would need more than one per-packet draw (two stochastic components in
 a composite) return ``None``: unbatchable, per-packet scalar calls.
+
+Vectorized draws (the approximate tier)
+---------------------------------------
+
+The *vectorized* columnar tier (``columnar_vectorized=True``) drops the
+draw-order contract entirely — it is validated statistically, not
+byte-for-byte — and asks a model for all ``k`` verdicts of a
+(slot, link) group at once via :meth:`LossModel.batch_draws`. The RNG
+split mirrors :meth:`batch_profile`:
+
+* *state-advance draws* still come from the link's **scalar** loss
+  stream (``rng``) — one advance per (slot, link), exactly what one
+  ``should_drop`` at that instant would consume — so the Gilbert–Elliott
+  burst process walks the same exponential run lengths whether a group
+  is settled vectorized or through the scalar fallback;
+* *per-packet draws* come from the link's **numpy** generator (``gen``)
+  in a single ``gen.random(k)`` call (none when the state's drop
+  probability is 0), replacing ``k`` scalar draws with one vector draw.
+
+Because per-packet draws move to a different stream, composites with
+two stochastic components — unbatchable under the exact contract — are
+batchable here: each component contributes its own vector and the
+results are OR-ed.
 """
 
 from __future__ import annotations
@@ -86,6 +109,26 @@ class LossModel:
         """
         return None
 
+    def batch_draws(self, now, rng, k, gen, np):
+        """Vectorized verdicts for ``k`` same-instant crossings — the
+        approximate tier's one-call-per-group loss evaluation.
+
+        Returns a length-``k`` boolean array (``True`` = dropped), or
+        ``None`` when the model cannot be vectorized (this default, for
+        unknown subclasses) — the caller then falls back to per-packet
+        scalar ``should_drop`` calls on ``rng``.
+
+        Contract: a call may consume from ``rng`` exactly the shared
+        state-advance draws one scalar ``should_drop(now, rng)`` would
+        (so the scalar burst process stays on its trajectory), and at
+        most one vector draw from ``gen`` (``gen.random(k)``; none when
+        the instant is deterministically draw-free). ``np`` is the
+        numpy module, passed in so models stay import-clean without it.
+        Draw-order identity with the scalar path is explicitly *not*
+        claimed — this tier is validated statistically.
+        """
+        return None
+
     def expected_loss_rate(self) -> float:
         """Long-run stationary loss probability (for tests/reporting)."""
         raise NotImplementedError
@@ -128,6 +171,9 @@ class NoLoss(LossModel):
     def profile_traits(self) -> tuple[bool, bool]:
         return (False, False)
 
+    def batch_draws(self, now, rng, k, gen, np):
+        return np.zeros(k, dtype=bool)
+
     def expected_loss_rate(self) -> float:
         return 0.0
 
@@ -153,6 +199,11 @@ class BernoulliLoss(LossModel):
 
     def profile_traits(self) -> tuple[bool, bool]:
         return (False, True)
+
+    def batch_draws(self, now, rng, k, gen, np):
+        if self.rate <= 0.0:
+            return np.zeros(k, dtype=bool)
+        return gen.random(k) < self.rate
 
     def expected_loss_rate(self) -> float:
         return self.rate
@@ -228,6 +279,16 @@ class GilbertElliottLoss(LossModel):
         # and with it whether packets draw — is unknown until advanced).
         return (True, True)
 
+    def batch_draws(self, now, rng, k, gen, np):
+        # The burst process advances on the scalar stream (same
+        # exponential run-length draws as one should_drop at `now`);
+        # the k per-packet verdicts collapse to one vector draw.
+        self._advance(now, rng)
+        p = self.bad_loss if self._in_bad else self.good_loss
+        if p <= 0.0:
+            return np.zeros(k, dtype=bool)
+        return gen.random(k) < p
+
     def in_bad_state(self, now: float, rng: random.Random) -> bool:
         """Expose the current state (used by tests)."""
         self._advance(now, rng)
@@ -277,6 +338,9 @@ class ScheduledOutages(LossModel):
 
     def profile_traits(self) -> tuple[bool, bool]:
         return (False, False)
+
+    def batch_draws(self, now, rng, k, gen, np):
+        return np.full(k, self.should_drop(now, rng), dtype=bool)
 
     def expected_loss_rate(self) -> float:
         # Not stationary; report NaN so nobody misuses it.
@@ -367,6 +431,19 @@ class CompositeLoss(LossModel):
             # single-`p` combination above could never express it).
             return None
         return (stateful, bool(per_packet))
+
+    def batch_draws(self, now, rng, k, gen, np):
+        # Each component contributes its own vector and the results are
+        # OR-ed — multiple stochastic components, unbatchable under the
+        # exact draw-order contract, vectorize fine here because the
+        # per-packet draws live on `gen`, not the scalar stream.
+        out = None
+        for model in self.models:
+            draws = model.batch_draws(now, rng, k, gen, np)
+            if draws is None:
+                return None
+            out = draws if out is None else (out | draws)
+        return out
 
     def expected_loss_rate(self) -> float:
         keep = 1.0

@@ -335,6 +335,10 @@ class Simulator:
         #: internet's data plane keys its per-(slot, link) instant
         #: profile memo on this bucket's identity.
         self._drain_bucket: list | None = None
+        #: Columnar mode: callbacks run after each slot bucket finishes
+        #: draining (see :meth:`on_slot_flush`) — the vectorized data
+        #: plane settles its deferred per-slot batches there.
+        self._flush_hooks: list = []
         #: Teardown epoch: bumped by clear(). A periodic timer firing
         #: while clear() runs is not in the queue, so the cancellation
         #: sweep cannot reach it — the run loop compares this epoch
@@ -371,6 +375,17 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still queued — O(1)."""
         return self._live
+
+    def on_slot_flush(self, hook: Callable[[], None]) -> None:
+        """Register ``hook()`` to run after every drained slot bucket
+        (columnar mode only). Flush hooks see ``_drain_bucket`` already
+        reset — they are *between* slots — and may schedule new events
+        (at or after the drained instant), which land in fresh buckets.
+        The vectorized data plane uses this to settle the link-crossing
+        batches it deferred while the slot drained."""
+        if not self._columnar:
+            raise SimulationError("slot-flush hooks require columnar mode")
+        self._flush_hooks.append(hook)
 
     def timer_stats(self) -> dict[str, int]:
         """Aggregate periodic-timer counters, keyed ``timer.*``."""
@@ -841,6 +856,8 @@ class Simulator:
                         stop = True
                         break
                 self._drain_bucket = None
+                for hook in self._flush_hooks:
+                    hook()
                 if stop:
                     break
         finally:
@@ -985,6 +1002,8 @@ class Simulator:
                                 event_j._cancelled = True
                 elif i < n:
                     heapq.heappush(self._queue, (now, bucket[i][0], bucket[i:]))
+                for hook in self._flush_hooks:
+                    hook()
                 self._processed += 1
                 return True
         return False

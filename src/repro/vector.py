@@ -1,0 +1,51 @@
+"""Optional numpy acceleration gate.
+
+The vectorized columnar tier (``OverlayConfig(columnar_vectorized=True)``)
+is the only part of the runtime that needs numpy, and numpy is an
+*optional* extra (``pip install repro[fast]``). Everything else must
+import and run on a bare interpreter, so the dependency is probed
+lazily, exactly once, through this module:
+
+* :func:`numpy_or_none` — the soft probe. Callers that can fall back
+  to scalar code use this and branch on ``None``.
+* :func:`require_numpy` — the hard gate. Features that are meaningless
+  without numpy (vectorized settlement) call this and surface a clear,
+  actionable error instead of an ``ImportError`` from deep inside the
+  hot path.
+"""
+
+from __future__ import annotations
+
+
+class MissingNumpyError(RuntimeError):
+    """A numpy-only feature was requested on an install without numpy."""
+
+
+_numpy = None
+_probed = False
+
+
+def numpy_or_none():
+    """The ``numpy`` module if importable, else ``None`` (probed once)."""
+    global _numpy, _probed
+    if not _probed:
+        _probed = True
+        try:
+            import numpy
+        except ImportError:
+            _numpy = None
+        else:
+            _numpy = numpy
+    return _numpy
+
+
+def require_numpy(feature: str = "this feature"):
+    """The ``numpy`` module, or raise :class:`MissingNumpyError` with
+    install guidance naming the ``feature`` that needs it."""
+    np = numpy_or_none()
+    if np is None:
+        raise MissingNumpyError(
+            f"{feature} requires numpy, which is not installed — "
+            "install the fast extra: pip install 'repro[fast]'"
+        )
+    return np
