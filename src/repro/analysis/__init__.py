@@ -9,7 +9,16 @@ from repro.analysis.metrics import (
     latency_summary,
     replicate_stats,
 )
-from repro.analysis.runner import SweepCache, resolve_workers, run_sweep
+from repro.analysis.coordinator import Coordinator
+from repro.analysis.runner import (
+    SweepCache,
+    campaign_options,
+    journal_path,
+    resolve_workers,
+    run_sweep,
+    shutdown_pool,
+    warm_pool,
+)
 from repro.analysis.sweep import (
     Cell,
     Sweep,
@@ -41,6 +50,11 @@ __all__ = [
     "with_counters",
     "resolve_workers",
     "run_sweep",
+    "Coordinator",
+    "campaign_options",
+    "journal_path",
+    "shutdown_pool",
+    "warm_pool",
     "CbrSource",
     "PoissonSource",
 ]

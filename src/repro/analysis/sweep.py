@@ -210,6 +210,7 @@ class CellResult:
     counters: dict[str, float] = field(default_factory=dict)
     error: str | None = None
     cached: bool = False
+    journaled: bool = False
     wall_s: float = 0.0
 
     @property
@@ -231,11 +232,16 @@ class SweepResult:
     """
 
     def __init__(self, sweep: Sweep, results: list[CellResult],
-                 replicates: int, workers: int) -> None:
+                 replicates: int, workers: int,
+                 interrupted: bool = False) -> None:
         self.sweep = sweep
         self.results = results
         self.replicates = replicates
         self.workers = workers
+        #: True when a KeyboardInterrupt cut the run short — the result
+        #: is partial (unfinished cells are marked failed) but every
+        #: completed cell was persisted; ``--resume`` finishes the rest.
+        self.interrupted = interrupted
 
     # ------------------------------------------------------------ status
 
@@ -245,13 +251,21 @@ class SweepResult:
 
     @property
     def executed(self) -> int:
-        """Cells actually simulated this run (not served from cache)."""
-        return sum(1 for r in self.results if r.ok and not r.cached)
+        """Cells actually simulated this run (not served from the
+        cache or the campaign journal)."""
+        return sum(
+            1 for r in self.results if r.ok and not r.cached and not r.journaled
+        )
 
     @property
     def cached(self) -> int:
         """Cells served from the result cache."""
         return sum(1 for r in self.results if r.ok and r.cached)
+
+    @property
+    def journaled(self) -> int:
+        """Cells served from the campaign journal by ``--resume``."""
+        return sum(1 for r in self.results if r.ok and r.journaled)
 
     @property
     def wall_s(self) -> float:
@@ -265,6 +279,7 @@ class SweepResult:
             "sweep.replicates": float(self.replicates),
             "sweep.executed": float(self.executed),
             "sweep.cached": float(self.cached),
+            "sweep.journaled": float(self.journaled),
             "sweep.failed": float(len(self.failed)),
             "sweep.workers": float(self.workers),
         }

@@ -375,3 +375,291 @@ def test_as_table_non_strict_skips_failed_replicates():
     table = result.as_table(strict=False)
     assert list(table) == ["good"]
     assert isinstance(table["good"]["ok"], ReplicateStat)
+
+
+# ------------------------------------------------ PR-10 campaign engine
+
+def _pid_cell(seed: int, x: int):
+    return {"pid": float(os.getpid()), "x": float(x)}
+
+
+def _pid_sweep(n: int = 6, name: str = "test_pids") -> Sweep:
+    return Sweep(
+        name=name,
+        run_cell=_pid_cell,
+        cells=[Cell(key=i, params={"x": i}) for i in range(n)],
+        master_seed=7,
+    )
+
+
+def test_workers_are_persistent_across_cells_and_sweeps():
+    """The pool is warm and module-level: one worker runs many cells,
+    and a second ``run_sweep`` call reuses the same worker processes
+    instead of paying pool + import setup again."""
+    from repro.analysis.runner import shutdown_pool, warm_pool
+
+    shutdown_pool()  # deterministic start: this test owns the pool
+    try:
+        assert warm_pool(2) == 2
+        first = run_sweep(_pid_sweep(), workers=2, cache=False, journal=False)
+        pids1 = {r.value["pid"] for r in first.results}
+        assert len(pids1) <= 2 < len(first.results)  # reuse across cells
+        second = run_sweep(_pid_sweep(), workers=2, cache=False, journal=False)
+        pids2 = {r.value["pid"] for r in second.results}
+        assert pids1 & pids2  # reuse across run_sweep calls
+    finally:
+        shutdown_pool()
+
+
+def test_pool_is_rebuilt_after_worker_death():
+    """A BrokenProcessPool poisons the executor; the next parallel run
+    must get a fresh pool and succeed, not inherit the corpse."""
+    from repro.analysis.runner import shutdown_pool
+
+    doomed = Sweep(
+        name="test_die_rebuild",
+        run_cell=_flaky_cell,
+        cells=[Cell(key="doomed", params={"mode": "die"})],
+        master_seed=9,
+    )
+    try:
+        broken = run_sweep(doomed, workers=2, cache=False, journal=False)
+        assert broken.failed
+        healthy = run_sweep(_pid_sweep(), workers=2, cache=False,
+                            journal=False)
+        healthy.raise_failures()
+        assert healthy.executed == len(healthy.results)
+    finally:
+        shutdown_pool()
+
+
+def test_batched_tables_are_byte_identical_to_serial():
+    sweep = _arith_sweep()
+    serial = run_sweep(sweep, workers=0, cache=False)
+    for batch in (2, 3, len(sweep.cells)):
+        batched = run_sweep(sweep, workers=2, cache=False, journal=False,
+                            batch=batch)
+        assert _dump(batched) == _dump(serial)
+        assert list(batched.as_table()) == [c.key for c in sweep.cells]
+
+
+def test_auto_batch_heuristic():
+    from repro.analysis.runner import MAX_BATCH, _auto_batch
+
+    assert _auto_batch(4, 8) == 1       # grid no wider than the pool
+    assert _auto_batch(8, 2) == 1       # still ~4 tasks per worker
+    assert _auto_batch(1000, 4) == 63   # amortize submit/IPC overhead
+    assert _auto_batch(10**6, 8) == MAX_BATCH  # bounded loss granularity
+
+
+# -------------------------------------------------- journal and resume
+
+def test_journal_resume_reruns_only_missing_cells(tmp_path):
+    """Kill-and-resume: truncate the journal (plus a torn tail, as a
+    real SIGKILL leaves) and check the resumed run serves the surviving
+    entries and simulates exactly the missing cells, byte-identically."""
+    sweep = _arith_sweep()
+    jpath = tmp_path / "journal.jsonl"
+    full = run_sweep(sweep, workers=0, cache=False, journal=jpath,
+                     fingerprint="fp")
+    lines = jpath.read_text().splitlines()
+    assert len(lines) == len(sweep.cells)
+    jpath.write_text("\n".join(lines[:3]) + "\n" + '{"digest": "to')
+    resumed = run_sweep(sweep, workers=0, cache=False, journal=jpath,
+                        fingerprint="fp", resume=True)
+    assert resumed.journaled == 3
+    assert resumed.executed == len(sweep.cells) - 3
+    assert _dump(resumed) == _dump(full)
+    assert resumed.stats()["sweep.journaled"] == 3.0
+    # The resumed journal is complete again: a second resume simulates 0.
+    again = run_sweep(sweep, workers=0, cache=False, journal=jpath,
+                      fingerprint="fp", resume=True)
+    assert (again.executed, again.journaled) == (0, len(sweep.cells))
+
+
+def test_journal_moves_with_the_source_fingerprint(tmp_path):
+    """A journal written under one fingerprint must not serve cells
+    after the source tree changes — same contract as the cache."""
+    sweep = _arith_sweep()
+    jpath = tmp_path / "journal.jsonl"
+    run_sweep(sweep, workers=0, cache=False, journal=jpath, fingerprint="v1")
+    stale = run_sweep(sweep, workers=0, cache=False, journal=jpath,
+                      fingerprint="v2", resume=True)
+    assert (stale.executed, stale.journaled) == (len(sweep.cells), 0)
+
+
+def test_fresh_run_truncates_journal_resume_appends(tmp_path):
+    sweep = _arith_sweep()
+    jpath = tmp_path / "journal.jsonl"
+    run_sweep(sweep, workers=0, cache=False, journal=jpath, fingerprint="fp")
+    run_sweep(sweep, workers=0, cache=False, journal=jpath, fingerprint="fp")
+    # Second non-resume run truncated: one record per cell, not two.
+    assert len(jpath.read_text().splitlines()) == len(sweep.cells)
+
+
+def _ki_cell(seed: int, trip_file: str = "", name: str = ""):
+    if trip_file and name == "trip" and os.path.exists(trip_file):
+        raise KeyboardInterrupt
+    return {"name_len": float(len(name))}
+
+
+def test_interrupt_returns_partial_result_and_resume_completes(tmp_path):
+    """Satellite: Ctrl-C mid-sweep keeps every completed cell (persisted
+    to the journal the moment it landed), marks the rest failed on a
+    partial ``interrupted`` result, and ``resume`` finishes the job."""
+    flag = tmp_path / "flag"
+    flag.write_text("1")
+    jpath = tmp_path / "journal.jsonl"
+    cells = [Cell(key=k, params={"trip_file": str(flag), "name": k})
+             for k in ("a", "trip", "b")]
+    sweep = Sweep(name="test_interrupt", run_cell=_ki_cell, cells=cells,
+                  master_seed=3)
+    partial = run_sweep(sweep, workers=0, cache=False, journal=jpath,
+                        fingerprint="fp")
+    assert partial.interrupted
+    assert len(partial.results) == 3
+    assert partial.executed == 1  # "a" landed before the interrupt
+    assert {r.key for r in partial.failed} == {"trip", "b"}
+    assert all("interrupted" in r.error for r in partial.failed)
+    flag.unlink()
+    resumed = run_sweep(sweep, workers=0, cache=False, journal=jpath,
+                        fingerprint="fp", resume=True)
+    assert not resumed.interrupted
+    resumed.raise_failures()
+    assert resumed.journaled == 1  # "a" served from the journal
+    assert resumed.executed == 2  # the interrupted cells re-ran
+
+
+def test_interrupt_in_pool_cancels_and_returns_partial(tmp_path):
+    """A KeyboardInterrupt raised in a worker propagates to the
+    collector, which cancels pending work and returns a partial result
+    instead of hanging or discarding completed cells."""
+    from repro.analysis.runner import shutdown_pool
+
+    flag = tmp_path / "flag"
+    flag.write_text("1")
+    cells = [Cell(key=k, params={"trip_file": str(flag), "name": k})
+             for k in ("a", "trip", "b", "c")]
+    sweep = Sweep(name="test_pool_interrupt", run_cell=_ki_cell, cells=cells,
+                  master_seed=3)
+    try:
+        partial = run_sweep(sweep, workers=2, cache=False, journal=False)
+        assert partial.interrupted
+        assert len(partial.results) == 4
+        assert "trip" in {r.key for r in partial.failed}
+    finally:
+        shutdown_pool()
+
+
+# ------------------------------------------------------ runner bugfixes
+
+def test_store_tmp_names_are_unique_and_never_leak(tmp_path):
+    """Regression: ``path.with_suffix(".tmp")`` was shared by every
+    concurrent writer of one digest — interleaved writes could publish
+    a torn file. Tmp names are now unique per process *and* per call,
+    and no tmp droppings survive a store."""
+    from repro.analysis.runner import _unique_tmp
+
+    target = tmp_path / "abc123.json"
+    names = {_unique_tmp(target) for _ in range(50)}
+    assert len(names) == 50
+    assert all(n.parent == target.parent for n in names)  # same fs: atomic
+    sweep = _arith_sweep()
+    store = SweepCache(tmp_path)
+    for _ in range(2):
+        run_sweep(sweep, workers=0, cache=store, fingerprint="fp")
+    leftovers = [p for p in tmp_path.rglob("*.tmp")]
+    assert leftovers == []
+
+
+def test_workers_env_non_integer_raises_clear_error(monkeypatch):
+    """Regression: a non-integer REPRO_BENCH_WORKERS crashed with a
+    bare ``ValueError: invalid literal`` that never named the knob."""
+    monkeypatch.setenv(WORKERS_ENV, "lots")
+    with pytest.raises(ValueError, match=r"REPRO_BENCH_WORKERS.*'lots'"):
+        resolve_workers()
+
+
+def _guard_cell(seed: int, inner: bool = False, warm_key: str | None = None):
+    from repro.analysis.runner import WARMSTART_FRESH_ENV
+
+    env = os.environ.get(WARMSTART_FRESH_ENV, "unset")
+    if inner:
+        nested = Sweep(
+            name="guard-inner",
+            run_cell=_guard_cell,
+            cells=[Cell(key="i", params={}, warm_key="wk-inner")],
+            master_seed=1,
+        )
+        run_sweep(nested, workers=0, cache=False, journal=False)
+    return {"env": env}
+
+
+def test_warmstart_fresh_guard_is_reentrant(monkeypatch):
+    """Regression: the flat save/restore around fresh-forced sweeps
+    clobbered the user's value when a sweep ran inside another sweep's
+    scope — the guard must restore the original only at depth 0."""
+    from repro.analysis.runner import WARMSTART_FRESH_ENV, _FRESH_GUARD
+
+    assert _FRESH_GUARD.depth == 0
+    monkeypatch.setenv(WARMSTART_FRESH_ENV, "0")
+    outer = Sweep(
+        name="guard-outer",
+        run_cell=_guard_cell,
+        cells=[Cell(key="o", params={"inner": True}, warm_key="wk-outer")],
+        master_seed=1,
+    )
+    result = run_sweep(outer, workers=0, cache=False, journal=False)
+    result.raise_failures()
+    # Forced on while the (nested) sweeps ran...
+    assert result.as_table()["o"]["env"] == "1"
+    # ...and the pre-existing value survived both scopes unwinding.
+    assert os.environ[WARMSTART_FRESH_ENV] == "0"
+    assert _FRESH_GUARD.depth == 0
+
+
+# --------------------------------------------------------- coordinator
+
+def test_coordinator_snapshot_and_status_file(tmp_path):
+    from repro.analysis.coordinator import Coordinator
+    from repro.analysis.sweep import CellResult
+
+    ticks = iter(range(100))
+    lines: list[str] = []
+    seen: list[int] = []
+    status = tmp_path / "status.json"
+    coord = Coordinator(status_path=status, progress=True, interval_s=0.0,
+                        on_cell=lambda c: seen.append(c.done),
+                        out=lines.append, clock=lambda: float(next(ticks)))
+    coord.start("camp", total=4, workers=2)
+    coord.record(CellResult(key="a", replicate=0, seed=1,
+                            value={}, wall_s=0.5), pid=101)
+    coord.record(CellResult(key="b", replicate=0, seed=2, cached=True), pid=101)
+    coord.record(CellResult(key="c", replicate=0, seed=3, journaled=True))
+    coord.record(CellResult(key="d", replicate=0, seed=4, error="boom"),
+                 pid=102)
+    coord.pool_restart()
+    coord.finish()
+    snap = json.loads(status.read_text())
+    assert (snap["done"], snap["executed"], snap["cached"],
+            snap["journaled"], snap["failed"]) == (4, 1, 1, 1, 1)
+    assert snap["pending"] == 0 and snap["finished"]
+    assert snap["worker_pids"] == [101, 102]
+    assert snap["worker_restarts"] == 1  # the explicit pool rebuild
+    assert snap["slowest_cells"][0]["cell"] == "a#r0"
+    assert seen == [1, 2, 3, 4]  # on_cell hook fired per landed cell
+    assert any("camp" in line and "4/4" in line for line in lines)
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_campaign_options_scopes_resume(tmp_path):
+    from repro.analysis.runner import _CAMPAIGN_OPTIONS, campaign_options
+
+    sweep = _arith_sweep()
+    jpath = tmp_path / "journal.jsonl"
+    run_sweep(sweep, workers=0, cache=False, journal=jpath, fingerprint="fp")
+    with campaign_options(resume=True):
+        resumed = run_sweep(sweep, workers=0, cache=False, journal=jpath,
+                            fingerprint="fp")
+        assert (resumed.executed, resumed.journaled) == (0, len(sweep.cells))
+    assert _CAMPAIGN_OPTIONS["resume"] is False  # restored on exit
